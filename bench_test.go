@@ -1,0 +1,157 @@
+// Package main_test holds one testing.B benchmark per reproduction
+// experiment (E1-E12, see DESIGN.md / EXPERIMENTS.md). Each benchmark
+// regenerates its experiment table and reports domain metrics
+// (rounds, certified ratios) via b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the full evaluation.
+package main_test
+
+import (
+	"strconv"
+	"testing"
+
+	"twoecss/internal/experiments"
+)
+
+func reportRatio(b *testing.B, t *experiments.Table, col string) {
+	b.Helper()
+	idx := -1
+	for i, c := range t.Columns {
+		if c == col {
+			idx = i
+		}
+	}
+	if idx < 0 || len(t.Rows) == 0 {
+		return
+	}
+	worst := 0.0
+	for _, r := range t.Rows {
+		if v, err := strconv.ParseFloat(r[idx], 64); err == nil && v > worst {
+			worst = v
+		}
+	}
+	b.ReportMetric(worst, "worst-"+col)
+}
+
+func BenchmarkE1_Ecss5ApproxCertified(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E1([]int{64, 128}, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRatio(b, t, "certified-ratio")
+	}
+}
+
+func BenchmarkE2_TapApproxVsExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E2([]int{40, 80}, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRatio(b, t, "ratio")
+		reportRatio(b, t, "ratio(G')")
+	}
+}
+
+func BenchmarkE3_RoundScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E3([]int{64, 128, 256}, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRatio(b, t, "normalized")
+	}
+}
+
+func BenchmarkE4_ShortcutTap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E4([]int{63}, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRatio(b, t, "alpha+beta")
+	}
+}
+
+func BenchmarkE5_Layering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5([]int{64, 256, 1024}, int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6_UnweightedTap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E6([]int{32, 64}, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRatio(b, t, "ratio<=2")
+	}
+}
+
+func BenchmarkE7_ReverseDeleteAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7([]int{48}, int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_BaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E8(5, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRatio(b, t, "ours/opt")
+		reportRatio(b, t, "greedy/opt")
+	}
+}
+
+func BenchmarkE9_PetalStructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9(300, int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10_CoverageMultiplicity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E10([]int{40, 80}, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range t.Rows {
+			if r[3] != "true" || r[4] != "true" {
+				b.Fatalf("Lemma 4.18 violated: %v", r)
+			}
+		}
+	}
+}
+
+func BenchmarkE11_ShortcutTools(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E11([]int{63}, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRatio(b, t, "max-alpha+beta")
+	}
+}
+
+func BenchmarkE12_CoverageDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E12(2, 60, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range t.Rows {
+			if r[3] != "0" || r[4] != "0" {
+				b.Fatalf("detector errors: %v", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command bench regenerates every reproduction experiment table (E1-E12,
+// see DESIGN.md and EXPERIMENTS.md) and prints them to stdout.
+//
+// Usage:
+//
+//	bench [-seed N] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twoecss/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "random seed for instance generation")
+	only := flag.String("only", "", "run a single experiment id (e.g. E3)")
+	flag.Parse()
+
+	tables, err := experiments.All(*seed)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if *only != "" && t.ID != *only {
+			continue
+		}
+		fmt.Println(t.Render())
+	}
+	return nil
+}

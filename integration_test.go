@@ -1,0 +1,94 @@
+package main_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twoecss/internal/baseline"
+	"twoecss/internal/ecss"
+	"twoecss/internal/graph"
+	"twoecss/internal/tap"
+)
+
+// TestEndToEndInvariantsQuick fuzzes the full Theorem 1.1 pipeline over
+// random 2-edge-connected instances and checks every paper invariant at
+// once: the output is a spanning 2-ECSS, its weight respects the certified
+// (5+eps) bound, and both reverse-delete variants respect their coverage
+// multiplicities.
+func TestEndToEndInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := graph.GenConfig{Mode: graph.WeightMode(1 + rng.Intn(3)), MaxW: 1 << 12, Rng: rng}
+		g := graph.RandomSpanningTreePlus(8+rng.Intn(40), rng.Intn(40), cfg)
+		if _, err := graph.Ensure2EC(g, cfg); err != nil {
+			return false
+		}
+		for _, variant := range []tap.Variant{tap.Cover2, tap.Cover4} {
+			opt := ecss.DefaultOptions()
+			opt.Variant = variant
+			opt.Eps = 0.2 + rng.Float64()/2
+			res, _, err := ecss.Solve(g, opt)
+			if err != nil {
+				return false
+			}
+			if ecss.Verify(g, res) != nil {
+				return false
+			}
+			bound := 5 + opt.Eps
+			if variant == tap.Cover4 {
+				bound = 9 + opt.Eps
+			}
+			if res.CertifiedRatio > bound+1e-9 {
+				return false
+			}
+			limit := 2
+			if variant == tap.Cover4 {
+				limit = 4
+			}
+			if res.TAP.MaxCoverRk > limit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineAgainstExactQuick compares the full pipeline against the
+// brute-force 2-ECSS optimum on tiny instances: the (5+eps) bound must hold
+// against the TRUE optimum, not only the certificate.
+func TestPipelineAgainstExactQuick(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 60 && checked < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 100, Rng: rng}
+		g := graph.RandomSpanningTreePlus(6+rng.Intn(3), 2+rng.Intn(3), cfg)
+		if _, err := graph.Ensure2EC(g, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if g.M() > 14 {
+			continue
+		}
+		checked++
+		optW, _, err := baseline.BruteForce2ECSS(g, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := ecss.Solve(g, ecss.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.Weight) > 5.25*float64(optW)+1e-9 {
+			t.Fatalf("seed %d: weight %d > (5+eps)*OPT %d", seed, res.Weight, optW)
+		}
+		if res.Weight < optW {
+			t.Fatalf("seed %d: weight %d below optimum %d (verification bug)", seed, res.Weight, optW)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no instances checked")
+	}
+}

@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"twoecss/internal/tree"
+	"twoecss/internal/vgraph"
+)
+
+// arc is one directed edge of an arborescence instance.
+type arc struct {
+	from, to int
+	w        int64
+}
+
+// minArborescence computes the minimum-weight out-arborescence rooted at
+// root via the recursive Chu-Liu/Edmonds algorithm. It returns the total
+// weight and the indices (into arcs) of the chosen arcs, one incoming arc
+// per non-root vertex. Returns ErrInfeasible if some vertex is unreachable.
+func minArborescence(n, root int, arcs []arc) (int64, []int, error) {
+	idx := make([]int, len(arcs))
+	for i := range idx {
+		idx[i] = i
+	}
+	return edmonds(n, root, arcs, idx)
+}
+
+// edmonds solves one contraction level; ids maps the local arcs back to the
+// caller's arc indices (top level: identity).
+func edmonds(n, root int, arcs []arc, ids []int) (int64, []int, error) {
+	// Minimum incoming arc per vertex, deterministic tie-break by index.
+	minIn := make([]int, n)
+	for v := range minIn {
+		minIn[v] = -1
+	}
+	for i, a := range arcs {
+		if a.to == root || a.from == a.to {
+			continue
+		}
+		if minIn[a.to] < 0 || a.w < arcs[minIn[a.to]].w ||
+			(a.w == arcs[minIn[a.to]].w && ids[i] < ids[minIn[a.to]]) {
+			minIn[a.to] = i
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v != root && minIn[v] < 0 {
+			return 0, nil, ErrInfeasible
+		}
+	}
+	// Detect cycles among the chosen arcs.
+	comp := make([]int, n)
+	for v := range comp {
+		comp[v] = -1
+	}
+	nComp := 0
+	state := make([]int, n) // 0 new, 1 on stack, 2 done
+	for v := 0; v < n; v++ {
+		if state[v] != 0 {
+			continue
+		}
+		var stack []int
+		u := v
+		for u != root && state[u] == 0 {
+			state[u] = 1
+			stack = append(stack, u)
+			u = arcs[minIn[u]].from
+		}
+		if u != root && state[u] == 1 {
+			// New cycle through u.
+			cid := nComp
+			nComp++
+			x := u
+			for {
+				comp[x] = cid
+				x = arcs[minIn[x]].from
+				if x == u {
+					break
+				}
+			}
+		}
+		for _, x := range stack {
+			state[x] = 2
+		}
+	}
+	if nComp == 0 {
+		// Acyclic: the chosen arcs form the arborescence.
+		var total int64
+		chosen := make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != root {
+				total += arcs[minIn[v]].w
+				chosen = append(chosen, minIn[v])
+			}
+		}
+		return total, chosen, nil
+	}
+	// Singleton supernodes for non-cycle vertices.
+	for v := 0; v < n; v++ {
+		if comp[v] < 0 {
+			comp[v] = nComp
+			nComp++
+		}
+	}
+	inCycle := make([]bool, n)
+	compSize := make([]int, nComp)
+	for v := 0; v < n; v++ {
+		compSize[comp[v]]++
+	}
+	var cycleSum int64
+	for v := 0; v < n; v++ {
+		if v != root && compSize[comp[v]] > 1 {
+			inCycle[v] = true
+			cycleSum += arcs[minIn[v]].w
+		}
+	}
+	// Contracted instance: each crossing arc is reweighted by the cycle
+	// arc it would displace; head bookkeeping drives the expansion.
+	var subArcs []arc
+	var subIDs []int    // caller-level ids for recursion transparency
+	var parent []int    // local arc index at THIS level
+	var localHead []int // head vertex at this level
+	for i, a := range arcs {
+		cf, ct := comp[a.from], comp[a.to]
+		if cf == ct {
+			continue
+		}
+		w := a.w
+		if inCycle[a.to] {
+			w -= arcs[minIn[a.to]].w
+		}
+		subArcs = append(subArcs, arc{from: cf, to: ct, w: w})
+		subIDs = append(subIDs, ids[i])
+		parent = append(parent, i)
+		localHead = append(localHead, a.to)
+	}
+	subTotal, subChosen, err := edmonds(nComp, comp[root], subArcs, subIDs)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Expansion: chosen external arcs stay; each entered cycle keeps all
+	// its arcs except the one pointing at the entry head.
+	chosen := make([]int, 0, n-1)
+	entered := make([]int, nComp) // entry head vertex per supernode (-1 none)
+	for c := range entered {
+		entered[c] = -1
+	}
+	for _, si := range subChosen {
+		chosen = append(chosen, parent[si])
+		entered[comp[localHead[si]]] = localHead[si]
+	}
+	for v := 0; v < n; v++ {
+		if !inCycle[v] {
+			continue
+		}
+		if entered[comp[v]] == v {
+			continue // displaced by the external entry arc
+		}
+		chosen = append(chosen, minIn[v])
+	}
+	return cycleSum + subTotal, chosen, nil
+}
+
+// KhullerThurimella computes a 2-approximation for weighted TAP on t using
+// the minimum arborescence reduction on the virtual graph G' (Khuller &
+// Thurimella 1993): tree edges become free child-to-parent arcs, every
+// virtual edge (anc,dec) becomes an anc-to-dec arc of its weight; the
+// minimum out-arborescence rooted at the tree root selects a virtual edge
+// cover of weight exactly OPT_TAP(G'), whose projection to G weighs at most
+// 2*OPT_TAP(G).
+//
+// It returns (projected augmentation weight in G, chosen original edge ids,
+// exact OPT of TAP on G').
+func KhullerThurimella(t *tree.Rooted) (int64, []int, int64, error) {
+	vg, err := vgraph.BuildFromGraph(t)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	arcs := make([]arc, 0, t.G.N-1+len(vg.VEdges))
+	veOf := make([]int, 0, cap(arcs)) // virtual edge per arc (-1 = tree arc)
+	for v := 0; v < t.G.N; v++ {
+		if t.Parent[v] >= 0 {
+			arcs = append(arcs, arc{from: v, to: t.Parent[v], w: 0})
+			veOf = append(veOf, -1)
+		}
+	}
+	for ve, e := range vg.VEdges {
+		arcs = append(arcs, arc{from: e.Anc, to: e.Dec, w: int64(e.W)})
+		veOf = append(veOf, ve)
+	}
+	optVirt, chosen, err := minArborescence(t.G.N, t.Root, arcs)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	var ves []int
+	for _, ai := range chosen {
+		if veOf[ai] >= 0 {
+			ves = append(ves, veOf[ai])
+		}
+	}
+	orig := vg.Project(ves)
+	var w int64
+	for _, id := range orig {
+		w += int64(t.G.Edges[id].W)
+	}
+	return w, orig, optVirt, nil
+}

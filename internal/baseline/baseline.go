@@ -1,0 +1,235 @@
+// Package baseline provides the comparison algorithms the paper positions
+// itself against, plus exact references used to measure approximation
+// ratios:
+//
+//   - ExactPathTAP: exact weighted TAP when the tree is a path (weighted
+//     interval covering by dynamic programming) — instances with known OPT.
+//   - BruteForceTAP / BruteForce2ECSS: exhaustive optima for small m.
+//   - GreedyTAP: the classical sequential greedy set-cover algorithm, an
+//     O(log n)-approximation (the quality class of Dory PODC'18).
+//   - KhullerThurimella: the centralized 2-approximation for weighted TAP
+//     via a minimum-weight arborescence on the virtual graph; its
+//     arborescence value is the EXACT optimum of TAP on G', which also
+//     certifies the primal-dual algorithm's G' ratio.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"twoecss/internal/graph"
+	"twoecss/internal/tree"
+	"twoecss/internal/vgraph"
+)
+
+// ErrInfeasible reports that no augmentation covers every tree edge.
+var ErrInfeasible = errors.New("baseline: tree augmentation infeasible")
+
+// ErrTooLarge reports a brute-force request beyond the configured limit.
+var ErrTooLarge = errors.New("baseline: instance too large for exhaustive search")
+
+// Interval is one candidate interval for path TAP: it covers path edges
+// L+1..R (vertex indices) at cost W.
+type Interval struct {
+	L, R int
+	W    int64
+}
+
+// ExactPathTAP solves weighted TAP exactly when the tree is the path
+// 0-1-...-(n-1): choose a minimum-weight set of intervals covering every
+// path edge. Dynamic programming over covered prefixes, O(n*m).
+func ExactPathTAP(n int, intervals []Interval) (int64, []int, error) {
+	if n < 2 {
+		return 0, nil, nil
+	}
+	const inf = math.MaxInt64 / 4
+	// dist[p] = cheapest cost covering edges 1..p (p in 0..n-1), where
+	// edge i connects vertices i-1,i.
+	dist := make([]int64, n)
+	choice := make([]int, n) // interval index achieving dist[p]
+	from := make([]int, n)
+	for p := 1; p < n; p++ {
+		dist[p] = inf
+		choice[p] = -1
+	}
+	for p := 0; p < n-1; p++ {
+		if dist[p] >= inf {
+			continue
+		}
+		for idx, iv := range intervals {
+			if iv.L > p || iv.R <= p {
+				continue
+			}
+			if c := dist[p] + iv.W; c < dist[iv.R] {
+				dist[iv.R] = c
+				choice[iv.R] = idx
+				from[iv.R] = p
+			}
+		}
+	}
+	if dist[n-1] >= inf {
+		return 0, nil, ErrInfeasible
+	}
+	var picks []int
+	for p := n - 1; p > 0; p = from[p] {
+		picks = append(picks, choice[p])
+	}
+	sort.Ints(picks)
+	return dist[n-1], picks, nil
+}
+
+// BruteForceTAP finds the optimal augmentation of t by original non-tree
+// edges, by exhaustive subset search. Refuses instances with more than
+// limit non-tree edges.
+func BruteForceTAP(t *tree.Rooted, limit int) (int64, []int, error) {
+	vg, err := vgraph.BuildFromGraph(t)
+	if err != nil {
+		return 0, nil, err
+	}
+	nonTree := t.NonTreeEdgeIDs()
+	m := len(nonTree)
+	if m > limit {
+		return 0, nil, fmt.Errorf("%w: %d non-tree edges > %d", ErrTooLarge, m, limit)
+	}
+	best := int64(math.MaxInt64)
+	bestMask := -1
+	for mask := 0; mask < 1<<m; mask++ {
+		var w int64
+		for j := 0; j < m; j++ {
+			if mask>>j&1 == 1 {
+				w += int64(t.G.Edges[nonTree[j]].W)
+			}
+		}
+		if w >= best {
+			continue
+		}
+		in := map[int]bool{}
+		for j := 0; j < m; j++ {
+			if mask>>j&1 == 1 {
+				for _, ve := range vg.VirtualOf(nonTree[j]) {
+					in[ve] = true
+				}
+			}
+		}
+		if vg.FullyCovers(func(ve int) bool { return in[ve] }) {
+			best = w
+			bestMask = mask
+		}
+	}
+	if bestMask < 0 {
+		return 0, nil, ErrInfeasible
+	}
+	var picks []int
+	for j := 0; j < m; j++ {
+		if bestMask>>j&1 == 1 {
+			picks = append(picks, nonTree[j])
+		}
+	}
+	return best, picks, nil
+}
+
+// BruteForce2ECSS finds the optimal 2-edge-connected spanning subgraph of g
+// by exhaustive search over edge subsets. Refuses graphs with more than
+// limit edges.
+func BruteForce2ECSS(g *graph.Graph, limit int) (int64, []int, error) {
+	m := g.M()
+	if m > limit {
+		return 0, nil, fmt.Errorf("%w: %d edges > %d", ErrTooLarge, m, limit)
+	}
+	best := int64(math.MaxInt64)
+	bestMask := -1
+	for mask := 0; mask < 1<<m; mask++ {
+		var w int64
+		for j := 0; j < m; j++ {
+			if mask>>j&1 == 1 {
+				w += int64(g.Edges[j].W)
+			}
+		}
+		if w >= best {
+			continue
+		}
+		keep := make([]int, 0, m)
+		for j := 0; j < m; j++ {
+			if mask>>j&1 == 1 {
+				keep = append(keep, j)
+			}
+		}
+		if len(keep) < g.N {
+			continue // a 2EC spanning subgraph needs >= n edges
+		}
+		sub := g.Subgraph(keep)
+		if sub.TwoEdgeConnected() {
+			best = w
+			bestMask = mask
+		}
+	}
+	if bestMask < 0 {
+		return 0, nil, ErrInfeasible
+	}
+	var picks []int
+	for j := 0; j < m; j++ {
+		if bestMask>>j&1 == 1 {
+			picks = append(picks, j)
+		}
+	}
+	return best, picks, nil
+}
+
+// GreedyTAP is the sequential greedy set-cover algorithm for weighted TAP
+// on G: repeatedly add the non-tree edge maximizing newly-covered tree
+// edges per unit weight, until all tree edges are covered. This is the
+// O(log n)-approximation quality class that Theorem 1.1 improves on.
+func GreedyTAP(t *tree.Rooted) (int64, []int, error) {
+	n := t.G.N
+	nonTree := t.NonTreeEdgeIDs()
+	// coverSets[j] = tree-edge children covered by nonTree[j].
+	coverSets := make([][]int, len(nonTree))
+	for j, id := range nonTree {
+		e := t.G.Edges[id]
+		w := t.LCA(e.U, e.V)
+		for x := e.U; x != w; x = t.Parent[x] {
+			coverSets[j] = append(coverSets[j], x)
+		}
+		for x := e.V; x != w; x = t.Parent[x] {
+			coverSets[j] = append(coverSets[j], x)
+		}
+	}
+	covered := make([]bool, n)
+	need := n - 1
+	var picks []int
+	var total int64
+	for need > 0 {
+		bestJ, bestGain := -1, 0.0
+		for j, id := range nonTree {
+			gain := 0
+			for _, c := range coverSets[j] {
+				if !covered[c] {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			eff := float64(gain) / float64(t.G.Edges[id].W)
+			if eff > bestGain || (eff == bestGain && bestJ >= 0 && id < nonTree[bestJ]) {
+				bestGain = eff
+				bestJ = j
+			}
+		}
+		if bestJ < 0 {
+			return 0, nil, ErrInfeasible
+		}
+		picks = append(picks, nonTree[bestJ])
+		total += int64(t.G.Edges[nonTree[bestJ]].W)
+		for _, c := range coverSets[bestJ] {
+			if !covered[c] {
+				covered[c] = true
+				need--
+			}
+		}
+	}
+	sort.Ints(picks)
+	return total, picks, nil
+}

@@ -1,0 +1,351 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twoecss/internal/graph"
+	"twoecss/internal/tree"
+	"twoecss/internal/vgraph"
+)
+
+func TestExactPathTAPSimple(t *testing.T) {
+	// Path of 5 vertices (4 edges); intervals: {0,2}:3, {2,4}:3, {0,4}:10,
+	// {1,3}:1. Optimal: {0,2}+{2,4} = 6 < 10.
+	w, picks, err := ExactPathTAP(5, []Interval{
+		{0, 2, 3}, {2, 4, 3}, {0, 4, 10}, {1, 3, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 6 || len(picks) != 2 {
+		t.Fatalf("w=%d picks=%v", w, picks)
+	}
+}
+
+func TestExactPathTAPInfeasible(t *testing.T) {
+	if _, _, err := ExactPathTAP(5, []Interval{{0, 2, 1}}); err != ErrInfeasible {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExactPathTAPMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		m := 1 + rng.Intn(10)
+		g := graph.New(n)
+		for v := 1; v < n; v++ {
+			g.MustAddEdge(v-1, v, 1000) // heavy tree edges, never useful
+		}
+		var ivs []Interval
+		g.MustAddEdge(0, n-1, 50)
+		ivs = append(ivs, Interval{0, n - 1, 50})
+		for j := 0; j < m; j++ {
+			l, r := rng.Intn(n), rng.Intn(n)
+			if l == r {
+				continue
+			}
+			if l > r {
+				l, r = r, l
+			}
+			w := int64(1 + rng.Intn(40))
+			g.MustAddEdge(l, r, w)
+			ivs = append(ivs, Interval{l, r, w})
+		}
+		rt, err := tree.NewFromEdgeSet(g, 0, seq(n-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantW, _, err := BruteForceTAP(rt, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotW, _, err := ExactPathTAP(n, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotW != wantW {
+			t.Fatalf("trial %d: path DP %d != brute %d", trial, gotW, wantW)
+		}
+	}
+}
+
+func seq(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func randomTAPInstance(rng *rand.Rand, n, extra int) *tree.Rooted {
+	cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 100, Rng: rng}
+	g := graph.RandomSpanningTreePlus(n, extra, cfg)
+	if _, err := graph.Ensure2EC(g, cfg); err != nil {
+		panic(err)
+	}
+	rt, err := tree.BFSTree(g, 0)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+func TestGreedyTAPValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		rt := randomTAPInstance(rng, 5+rng.Intn(10), rng.Intn(6))
+		if len(rt.NonTreeEdgeIDs()) > 14 {
+			continue
+		}
+		w, picks, err := GreedyTAP(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertCovers(t, rt, picks)
+		opt, _, err := BruteForceTAP(rt, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Greedy is an O(log n) approximation; on these tiny instances a
+		// factor 8 is a very generous sanity envelope.
+		if float64(w) > 8*float64(opt) {
+			t.Fatalf("greedy %d way beyond OPT %d", w, opt)
+		}
+	}
+}
+
+func assertCovers(t *testing.T, rt *tree.Rooted, picks []int) {
+	t.Helper()
+	vg, err := vgraph.BuildFromGraph(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[int]bool{}
+	for _, id := range picks {
+		for _, ve := range vg.VirtualOf(id) {
+			in[ve] = true
+		}
+	}
+	if !vg.FullyCovers(func(ve int) bool { return in[ve] }) {
+		t.Fatal("augmentation does not cover the tree")
+	}
+}
+
+func TestKhullerThurimella2Approx(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		rt := randomTAPInstance(rng, 5+rng.Intn(9), rng.Intn(6))
+		if len(rt.NonTreeEdgeIDs()) > 14 {
+			continue
+		}
+		w, picks, optVirt, err := KhullerThurimella(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertCovers(t, rt, picks)
+		opt, _, err := BruteForceTAP(rt, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(w) > 2*float64(opt)+1e-9 {
+			t.Fatalf("trial %d: KT %d > 2*OPT %d", trial, w, opt)
+		}
+		// OPT on G' is at most 2*OPT on G and at least OPT on G... and at
+		// least the projected weight cannot be below OPT either.
+		if optVirt > 2*opt || w < opt {
+			t.Fatalf("trial %d: optVirt=%d w=%d opt=%d inconsistent", trial, optVirt, w, opt)
+		}
+	}
+}
+
+// The arborescence optimum on G' must equal the brute-force optimum over
+// virtual edge subsets (where each virtual edge is priced separately).
+func TestArborescenceExactOnVirtual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		rt := randomTAPInstance(rng, 4+rng.Intn(7), rng.Intn(5))
+		vg, err := vgraph.BuildFromGraph(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nv := len(vg.VEdges)
+		if nv > 16 {
+			continue
+		}
+		_, _, optVirt, err := KhullerThurimella(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := int64(1) << 60
+		for mask := 0; mask < 1<<nv; mask++ {
+			var w int64
+			for j := 0; j < nv; j++ {
+				if mask>>j&1 == 1 {
+					w += int64(vg.VEdges[j].W)
+				}
+			}
+			if w >= best {
+				continue
+			}
+			if vg.FullyCovers(func(ve int) bool { return mask>>ve&1 == 1 }) {
+				best = w
+			}
+		}
+		if optVirt != best {
+			t.Fatalf("trial %d: arborescence %d != brute virtual OPT %d", trial, optVirt, best)
+		}
+	}
+}
+
+func TestBruteForce2ECSS(t *testing.T) {
+	// A 4-cycle plus an expensive diagonal: OPT is the cycle.
+	g := graph.New(4)
+	for v := 0; v < 4; v++ {
+		g.MustAddEdge(v, (v+1)%4, 1)
+	}
+	g.MustAddEdge(0, 2, 100)
+	w, picks, err := BruteForce2ECSS(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 4 || len(picks) != 4 {
+		t.Fatalf("w=%d picks=%v", w, picks)
+	}
+	if _, _, err := BruteForce2ECSS(graph.Grid(6, 6, graph.DefaultGenConfig(1)), 16); err == nil {
+		t.Fatal("oversized brute force accepted")
+	}
+}
+
+func TestBruteForceTAPLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rt := randomTAPInstance(rng, 30, 40)
+	if _, _, err := BruteForceTAP(rt, 5); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestEdmondsQuick(t *testing.T) {
+	// Random small digraph: compare against exhaustive search over
+	// functions parent: V\{r} -> arcs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		var arcs []arc
+		for i := 0; i < n*n; i++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from == to {
+				continue
+			}
+			arcs = append(arcs, arc{from: from, to: to, w: int64(1 + rng.Intn(20))})
+		}
+		got, chosen, err := minArborescence(n, 0, arcs)
+		want, feasible := bruteArborescence(n, 0, arcs)
+		if !feasible {
+			return err != nil
+		}
+		if err != nil || got != want {
+			return false
+		}
+		// chosen must form a valid arborescence of weight got.
+		var sum int64
+		inDeg := make([]int, n)
+		for _, ai := range chosen {
+			sum += arcs[ai].w
+			inDeg[arcs[ai].to]++
+		}
+		if sum != got {
+			return false
+		}
+		for v := 1; v < n; v++ {
+			if inDeg[v] != 1 {
+				return false
+			}
+		}
+		// Reachability from root via chosen arcs.
+		adj := make([][]int, n)
+		for _, ai := range chosen {
+			adj[arcs[ai].from] = append(adj[arcs[ai].from], arcs[ai].to)
+		}
+		seen := make([]bool, n)
+		stack := []int{0}
+		seen[0] = true
+		cnt := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					cnt++
+					stack = append(stack, u)
+				}
+			}
+		}
+		return cnt == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteArborescence enumerates all parent-arc assignments.
+func bruteArborescence(n, root int, arcs []arc) (int64, bool) {
+	incoming := make([][]int, n)
+	for i, a := range arcs {
+		if a.to != root {
+			incoming[a.to] = append(incoming[a.to], i)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v != root && len(incoming[v]) == 0 {
+			return 0, false
+		}
+	}
+	best := int64(1) << 60
+	feasible := false
+	var rec func(v int, picked []int, sum int64)
+	rec = func(v int, picked []int, sum int64) {
+		if sum >= best {
+			return
+		}
+		if v == n {
+			// Check reachability.
+			adj := make([][]int, n)
+			for _, ai := range picked {
+				adj[arcs[ai].from] = append(adj[arcs[ai].from], arcs[ai].to)
+			}
+			seen := make([]bool, n)
+			stack := []int{root}
+			seen[root] = true
+			cnt := 1
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, u := range adj[x] {
+					if !seen[u] {
+						seen[u] = true
+						cnt++
+						stack = append(stack, u)
+					}
+				}
+			}
+			if cnt == n {
+				best = sum
+				feasible = true
+			}
+			return
+		}
+		if v == root {
+			rec(v+1, picked, sum)
+			return
+		}
+		for _, ai := range incoming[v] {
+			rec(v+1, append(picked, ai), sum+arcs[ai].w)
+		}
+	}
+	rec(0, nil, 0)
+	return best, feasible
+}

@@ -1,0 +1,171 @@
+package congest
+
+import (
+	"errors"
+	"testing"
+
+	"twoecss/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v-1, v, 1)
+	}
+	return g
+}
+
+func TestRunSimpleRelay(t *testing.T) {
+	// Token travels along a path; rounds must equal path length.
+	n := 10
+	g := pathGraph(n)
+	net := NewNetwork(g)
+	arrived := -1
+	sent := make([]bool, n)
+	handler := func(v int, inbox []Msg) ([]Msg, bool) {
+		if v == 0 && !sent[0] {
+			sent[0] = true
+			return []Msg{{EdgeID: 0, From: 0, Data: []Word{42}}}, false
+		}
+		for _, m := range inbox {
+			if v == n-1 {
+				arrived = int(m.Data[0])
+				return nil, false
+			}
+			if !sent[v] {
+				sent[v] = true
+				return []Msg{{EdgeID: v, From: v, Data: m.Data}}, false
+			}
+		}
+		return nil, false
+	}
+	if err := net.Run(handler, []int{0}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if arrived != 42 {
+		t.Fatalf("token = %d", arrived)
+	}
+	// n-1 relay rounds plus the final round in which the endpoint
+	// processes its inbox.
+	if r := net.Stats().SimulatedRounds; r != int64(n) {
+		t.Fatalf("rounds = %d, want %d", r, n)
+	}
+}
+
+func TestRunBandwidthViolation(t *testing.T) {
+	g := pathGraph(2)
+	net := NewNetwork(g)
+	net.WordsPerEdge = 2
+	handler := func(v int, inbox []Msg) ([]Msg, bool) {
+		if v == 0 {
+			return []Msg{{EdgeID: 0, From: 0, Data: []Word{1, 2, 3}}}, false
+		}
+		return nil, false
+	}
+	err := net.Run(handler, []int{0}, 10)
+	var bw *ErrBandwidth
+	if !errors.As(err, &bw) {
+		t.Fatalf("err = %v, want ErrBandwidth", err)
+	}
+}
+
+func TestRunRejectsForgery(t *testing.T) {
+	g := pathGraph(3)
+	net := NewNetwork(g)
+	handler := func(v int, inbox []Msg) ([]Msg, bool) {
+		if v == 0 {
+			return []Msg{{EdgeID: 0, From: 1, Data: []Word{1}}}, false
+		}
+		return nil, false
+	}
+	if err := net.Run(handler, []int{0}, 10); err == nil {
+		t.Fatal("forged sender accepted")
+	}
+	handler2 := func(v int, inbox []Msg) ([]Msg, bool) {
+		if v == 0 {
+			return []Msg{{EdgeID: 1, From: 0, Data: []Word{1}}}, false
+		}
+		return nil, false
+	}
+	if err := net.Run(handler2, []int{0}, 10); err == nil {
+		t.Fatal("non-incident edge accepted")
+	}
+}
+
+func TestRunMaxRounds(t *testing.T) {
+	g := pathGraph(2)
+	net := NewNetwork(g)
+	handler := func(v int, inbox []Msg) ([]Msg, bool) { return nil, true } // spin forever
+	if err := net.Run(handler, nil, 5); err == nil {
+		t.Fatal("non-terminating program accepted")
+	}
+}
+
+func TestChargeAndPhases(t *testing.T) {
+	net := NewNetwork(pathGraph(2))
+	net.BeginPhase("setup")
+	if err := net.Charge(17, "test"); err != nil {
+		t.Fatal(err)
+	}
+	net.EndPhase()
+	if err := net.Charge(-1, "bad"); err == nil {
+		t.Fatal("negative charge accepted")
+	}
+	ph := net.Phases()
+	if len(ph) != 1 || ph[0].Name != "setup" || ph[0].Charged != 17 {
+		t.Fatalf("phases = %+v", ph)
+	}
+	if net.Stats().TotalRounds() != 17 {
+		t.Fatalf("total = %d", net.Stats().TotalRounds())
+	}
+}
+
+func TestAnalyticBills(t *testing.T) {
+	if KuttenPelegMSTRounds(100, 5) <= 0 || LCALabelRounds(100, 5) <= 0 ||
+		SegmentDecompositionRounds(100, 5) <= 0 || LayeringRounds(100, 5) <= 0 {
+		t.Fatal("bills must be positive")
+	}
+	// sqrt scaling: quadrupling n roughly doubles the sqrt term.
+	a := KuttenPelegMSTRounds(100, 0)
+	b := KuttenPelegMSTRounds(400, 0)
+	if b < 3*a/2 || b > 3*a {
+		t.Fatalf("sqrt scaling off: %d -> %d", a, b)
+	}
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	// The worker pool must not change results: run a flood twice with
+	// different worker counts and compare stats.
+	run := func(workers int) Stats {
+		g := graph.Grid(12, 12, graph.DefaultGenConfig(3))
+		net := NewNetwork(g)
+		net.Workers = workers
+		seen := make([]bool, g.N)
+		seen[0] = true
+		fresh := make([]bool, g.N)
+		fresh[0] = true
+		handler := func(v int, inbox []Msg) ([]Msg, bool) {
+			if len(inbox) > 0 && !seen[v] {
+				seen[v] = true
+				fresh[v] = true
+			}
+			if fresh[v] {
+				fresh[v] = false
+				var out []Msg
+				for _, id := range g.Incident(v) {
+					out = append(out, Msg{EdgeID: id, From: v, Data: []Word{7}})
+				}
+				return out, false
+			}
+			return nil, false
+		}
+		if err := net.Run(handler, []int{0}, 1000); err != nil {
+			t.Fatal(err)
+		}
+		return net.Stats()
+	}
+	a, b := run(1), run(8)
+	if a.SimulatedRounds != b.SimulatedRounds || a.Messages != b.Messages {
+		t.Fatalf("parallel execution changed behaviour: %+v vs %+v", a, b)
+	}
+}

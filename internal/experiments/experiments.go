@@ -1,0 +1,778 @@
+// Package experiments defines the reproduction experiments E1-E12 (see
+// DESIGN.md): each one turns a theorem or claim of the paper into a
+// measurable run and renders a table row set. The same runners back
+// cmd/bench and the root-level testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"twoecss/internal/baseline"
+	"twoecss/internal/congest"
+	"twoecss/internal/ecss"
+	"twoecss/internal/graph"
+	"twoecss/internal/layering"
+	"twoecss/internal/mst"
+	"twoecss/internal/primitives"
+	"twoecss/internal/setcover"
+	"twoecss/internal/shortcuts"
+	"twoecss/internal/tap"
+	"twoecss/internal/tree"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID, Title string
+	Columns   []string
+	Rows      [][]string
+	Notes     []string
+}
+
+// Render prints the table in a fixed-width layout.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
+
+// family generates one instance of the named graph family.
+func family(name string, n int, seed int64) (*graph.Graph, error) {
+	cfg := graph.DefaultGenConfig(seed)
+	switch name {
+	case "er":
+		p := 4 * math.Log(float64(n)) / float64(n)
+		g := graph.ErdosRenyi(n, p, cfg)
+		if _, err := graph.Ensure2EC(g, cfg); err != nil {
+			return nil, err
+		}
+		return g, nil
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		if side < 2 {
+			side = 2
+		}
+		return graph.Grid(side, side, cfg), nil
+	case "ring":
+		return graph.RingWithChords(n, n/4, cfg), nil
+	case "treeleafcycle":
+		depth := 1
+		for (1<<(depth+2))-1 <= n {
+			depth++
+		}
+		return graph.TreeLeafCycle(depth, cfg), nil
+	case "random":
+		g := graph.RandomSpanningTreePlus(n, n, cfg)
+		if _, err := graph.Ensure2EC(g, cfg); err != nil {
+			return nil, err
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown family %q", name)
+	}
+}
+
+// E1 — Theorem 1.1: certified approximation of the (5+eps) 2-ECSS
+// algorithm across graph families.
+func E1(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "Theorem 1.1 — (5+eps)-approx 2-ECSS, certified ratios",
+		Columns: []string{"family", "n", "m", "weight", "lower-bound",
+			"certified-ratio", "bound(5+eps)", "rounds"},
+		Notes: []string{"certified-ratio = weight / max(w(MST), dualLB/2); OPT-relative ratio is lower"},
+	}
+	for _, fam := range []string{"er", "grid", "ring", "treeleafcycle"} {
+		for _, n := range sizes {
+			g, err := family(fam, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			opt := ecss.DefaultOptions()
+			res, net, err := ecss.Solve(g, opt)
+			if err != nil {
+				return nil, err
+			}
+			if err := ecss.Verify(g, res); err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fam, f("%d", g.N), f("%d", g.M()), f("%d", res.Weight),
+				f("%.1f", res.LowerBound), f("%.3f", res.CertifiedRatio),
+				f("%.2f", 5+opt.Eps), f("%d", net.Stats().TotalRounds()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E2 — Theorem 4.19: (4+eps)-approx TAP against the exact optimum on path
+// instances (weighted interval covering) and the exact G' optimum
+// (arborescence) on random instances.
+func E2(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E2",
+		Title: "Theorem 4.19 — (4+eps)-approx weighted TAP vs exact optima",
+		Columns: []string{"instance", "n", "tap-weight", "opt", "ratio",
+			"bound", "virt-weight", "opt(G')", "ratio(G')", "bound(G')"},
+	}
+	eps := 0.25
+	for _, n := range sizes {
+		cfg := graph.DefaultGenConfig(seed + int64(n))
+		g := graph.PathWithIntervals(n, n, cfg)
+		net := congest.NewNetwork(g)
+		bfs, err := primitives.BuildBFS(net, 0)
+		if err != nil {
+			return nil, err
+		}
+		// The tree is the path itself.
+		treeIDs := make([]int, 0, n-1)
+		var ivs []baseline.Interval
+		for id, e := range g.Edges {
+			if (e.U+1 == e.V || e.V+1 == e.U) && len(treeIDs) < n-1 && isPathEdge(treeIDs, id, e) {
+				treeIDs = append(treeIDs, id)
+			}
+		}
+		rt, err := tree.NewFromEdgeSet(g, 0, treeIDs)
+		if err != nil {
+			return nil, err
+		}
+		inTree := map[int]bool{}
+		for _, id := range treeIDs {
+			inTree[id] = true
+		}
+		for id, e := range g.Edges {
+			if inTree[id] {
+				continue
+			}
+			l, r := e.U, e.V
+			if l > r {
+				l, r = r, l
+			}
+			ivs = append(ivs, baseline.Interval{L: l, R: r, W: int64(e.W)})
+		}
+		opt, _, err := baseline.ExactPathTAP(n, ivs)
+		if err != nil {
+			return nil, err
+		}
+		solver, err := tap.NewSolver(net, bfs, rt)
+		if err != nil {
+			return nil, err
+		}
+		res, err := solver.SolveWeighted(eps, tap.Cover2)
+		if err != nil {
+			return nil, err
+		}
+		_, _, optVirt, err := baseline.KhullerThurimella(rt)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f("path+intervals"), f("%d", n), f("%d", res.Weight), f("%d", opt),
+			f("%.3f", float64(res.Weight)/float64(opt)), f("%.2f", 4+2*eps),
+			f("%d", res.VirtWeight), f("%d", optVirt),
+			f("%.3f", float64(res.VirtWeight)/float64(optVirt)),
+			f("%.2f", 2*(1+eps)*(1+eps)),
+		})
+	}
+	return t, nil
+}
+
+// isPathEdge keeps the first copy of each consecutive pair.
+func isPathEdge(have []int, id int, e graph.Edge) bool {
+	lo := e.U
+	if e.V < lo {
+		lo = e.V
+	}
+	return lo == len(have)
+}
+
+// E3 — Theorem 1.1 round bound: rounds normalized by (D+sqrt n)log^2(n)/eps.
+func E3(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Theorem 1.1 — round complexity scaling",
+		Columns: []string{"n", "m", "D", "simulated", "charged", "total", "normalized"},
+		Notes:   []string{"normalized = total / ((D+sqrt n) * log2(n)^2 / eps); flat = matches bound"},
+	}
+	eps := 0.25
+	for _, n := range sizes {
+		g, err := family("er", n, seed)
+		if err != nil {
+			return nil, err
+		}
+		diam, err := g.DiameterApprox()
+		if err != nil {
+			return nil, err
+		}
+		opt := ecss.DefaultOptions()
+		opt.Eps = eps
+		_, net, err := ecss.Solve(g, opt)
+		if err != nil {
+			return nil, err
+		}
+		st := net.Stats()
+		lg := math.Log2(float64(n))
+		norm := float64(st.TotalRounds()) / ((float64(diam) + math.Sqrt(float64(n))) * lg * lg / eps)
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%d", g.M()), f("%d", diam), f("%d", st.SimulatedRounds),
+			f("%d", st.ChargedRounds), f("%d", st.TotalRounds()), f("%.3f", norm),
+		})
+	}
+	return t, nil
+}
+
+// E4 — Theorem 1.2: the shortcut-based O(log n) algorithm; quality and
+// rounds on a low-diameter planar-like family vs a worst-case-style family.
+func E4(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "Theorem 1.2 — O(log n)-approx TAP in O~(SC+D) rounds",
+		Columns: []string{"family", "builder", "n", "D", "weight", "greedy",
+			"alpha+beta", "D+sqrt(n)", "rounds"},
+		Notes: []string{"alpha+beta below D+sqrt(n) on the nice family shows the shortcut advantage"},
+	}
+	for _, n := range sizes {
+		for _, fam := range []string{"treeleafcycle", "er"} {
+			g, err := family(fam, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			diam, err := g.DiameterApprox()
+			if err != nil {
+				return nil, err
+			}
+			net := congest.NewNetwork(g)
+			bfs, err := primitives.BuildBFS(net, 0)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := mst.KruskalTree(g, 0, net)
+			if err != nil {
+				return nil, err
+			}
+			var b shortcuts.Builder
+			if fam == "treeleafcycle" {
+				b = &shortcuts.SteinerBuilder{G: g, BFS: bfs}
+			} else {
+				b = &shortcuts.GlobalBFSBuilder{G: g, BFS: bfs}
+			}
+			solver, err := setcover.NewSolver(net, bfs, rt, b)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(seed))
+			res, err := solver.Solve(setcover.DefaultOptions(g.N, rng))
+			if err != nil {
+				return nil, err
+			}
+			gw, _, err := baseline.GreedyTAP(rt)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fam, b.Name(), f("%d", g.N), f("%d", diam), f("%d", res.Weight),
+				f("%d", gw), f("%d", res.MaxShortcutQuality),
+				f("%.0f", float64(diam)+math.Sqrt(float64(g.N))),
+				f("%d", net.Stats().TotalRounds()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E5 — Claim 4.7: layer counts stay under log2(#leaves)+1.
+func E5(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Claim 4.7 — number of layers is O(log n)",
+		Columns: []string{"family", "n", "leaves", "layers", "log2-bound", "paths"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fams := []struct {
+		name string
+		gen  func(n int) *graph.Graph
+	}{
+		{"path", func(n int) *graph.Graph {
+			g := graph.New(n)
+			for v := 1; v < n; v++ {
+				g.MustAddEdge(v-1, v, 1)
+			}
+			return g
+		}},
+		{"star", func(n int) *graph.Graph {
+			g := graph.New(n)
+			for v := 1; v < n; v++ {
+				g.MustAddEdge(0, v, 1)
+			}
+			return g
+		}},
+		{"randomtree", func(n int) *graph.Graph {
+			cfg := graph.GenConfig{Mode: graph.WeightUnit, MaxW: 1, Rng: rng}
+			return graph.RandomSpanningTreePlus(n, 0, cfg)
+		}},
+		{"caterpillar", func(n int) *graph.Graph {
+			return graph.Caterpillar(n/4+1, 3, graph.DefaultGenConfig(seed))
+		}},
+	}
+	for _, fam := range fams {
+		for _, n := range sizes {
+			g := fam.gen(n)
+			rt, err := tree.BFSTree(g, 0)
+			if err != nil {
+				return nil, err
+			}
+			l, err := layering.Build(rt)
+			if err != nil {
+				return nil, err
+			}
+			leaves := 0
+			for v := 0; v < g.N; v++ {
+				if len(rt.Children[v]) == 0 {
+					leaves++
+				}
+			}
+			bound := 1
+			for 1<<bound < leaves {
+				bound++
+			}
+			t.Rows = append(t.Rows, []string{
+				fam.name, f("%d", g.N), f("%d", leaves), f("%d", l.NumLayers),
+				f("%d", bound+1), f("%d", len(l.Paths)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E6 — Section 3.6.1: unweighted TAP 2-approximation on G' via MIS+petals.
+func E6(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "Section 3.6.1 — unweighted TAP: |aug| <= 2*MIS on G'",
+		Columns: []string{"n", "m", "aug-size", "mis-size", "ratio<=2", "opt", "vs-opt<=4"},
+	}
+	for _, n := range sizes {
+		cfg := graph.GenConfig{Mode: graph.WeightUnit, MaxW: 1,
+			Rng: rand.New(rand.NewSource(seed + int64(n)))}
+		g := graph.RandomSpanningTreePlus(n, n/2, cfg)
+		if _, err := graph.Ensure2EC(g, cfg); err != nil {
+			return nil, err
+		}
+		net := congest.NewNetwork(g)
+		bfs, err := primitives.BuildBFS(net, 0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := mst.KruskalTree(g, 0, net)
+		if err != nil {
+			return nil, err
+		}
+		solver, err := tap.NewSolver(net, bfs, rt)
+		if err != nil {
+			return nil, err
+		}
+		res, err := solver.SolveUnweighted()
+		if err != nil {
+			return nil, err
+		}
+		optStr, vsOpt := "-", "-"
+		if len(rt.NonTreeEdgeIDs()) <= 18 {
+			opt, _, err := baseline.BruteForceTAP(rt, 18)
+			if err == nil {
+				optStr = f("%d", opt)
+				vsOpt = f("%.2f", float64(len(res.OrigEdges))/float64(opt))
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", g.N), f("%d", g.M()), f("%d", len(res.VEdges)), f("%d", res.MISSize),
+			f("%.2f", float64(len(res.VEdges))/float64(res.MISSize)), optStr, vsOpt,
+		})
+	}
+	return t, nil
+}
+
+// E7 — ablation: reverse-delete variants Cover4 vs Cover2.
+func E7(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Ablation — reverse-delete c=4 (Sec 3.5) vs c=2 (Sec 4.6)",
+		Columns: []string{"n", "variant", "weight", "max-cover-Rk", "certified-ratio(G')", "rounds"},
+	}
+	eps := 0.25
+	for _, n := range sizes {
+		g, err := family("random", n, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, variant := range []tap.Variant{tap.Cover4, tap.Cover2} {
+			net := congest.NewNetwork(g)
+			bfs, err := primitives.BuildBFS(net, 0)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := mst.KruskalTree(g, 0, net)
+			if err != nil {
+				return nil, err
+			}
+			solver, err := tap.NewSolver(net, bfs, rt)
+			if err != nil {
+				return nil, err
+			}
+			res, err := solver.SolveWeighted(eps, variant)
+			if err != nil {
+				return nil, err
+			}
+			ratio := 0.0
+			if res.DualLB > 0 {
+				ratio = float64(res.VirtWeight) / res.DualLB
+			}
+			t.Rows = append(t.Rows, []string{
+				f("%d", n), variant.String(), f("%d", res.Weight),
+				f("%d", res.MaxCoverRk), f("%.3f", ratio),
+				f("%d", net.Stats().TotalRounds()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E8 — comparison against baselines on instances with known optimum.
+func E8(count int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Title:   "Baselines — ours vs greedy vs Khuller-Thurimella vs exact (TAP)",
+		Columns: []string{"instance", "n", "opt", "ours", "greedy", "kt", "ours/opt", "greedy/opt", "kt/opt"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < count; i++ {
+		cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 200, Rng: rng}
+		g := graph.RandomSpanningTreePlus(9+rng.Intn(6), 4+rng.Intn(4), cfg)
+		if _, err := graph.Ensure2EC(g, cfg); err != nil {
+			return nil, err
+		}
+		net := congest.NewNetwork(g)
+		bfs, err := primitives.BuildBFS(net, 0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := mst.KruskalTree(g, 0, net)
+		if err != nil {
+			return nil, err
+		}
+		if len(rt.NonTreeEdgeIDs()) > 16 {
+			continue
+		}
+		opt, _, err := baseline.BruteForceTAP(rt, 16)
+		if err != nil {
+			return nil, err
+		}
+		solver, err := tap.NewSolver(net, bfs, rt)
+		if err != nil {
+			return nil, err
+		}
+		res, err := solver.SolveWeighted(0.25, tap.Cover2)
+		if err != nil {
+			return nil, err
+		}
+		gw, _, err := baseline.GreedyTAP(rt)
+		if err != nil {
+			return nil, err
+		}
+		kw, _, _, err := baseline.KhullerThurimella(rt)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f("random-%d", i), f("%d", g.N), f("%d", opt), f("%d", res.Weight),
+			f("%d", gw), f("%d", kw),
+			f("%.3f", float64(res.Weight)/float64(opt)),
+			f("%.3f", float64(gw)/float64(opt)),
+			f("%.3f", float64(kw)/float64(opt)),
+		})
+	}
+	return t, nil
+}
+
+// E9 — Figures 1-2 content: layering path structure statistics.
+func E9(n int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Figures 1-2 — layering structure of a random tree",
+		Columns: []string{"layer", "paths", "edges", "avg-path-len", "max-path-len"},
+	}
+	cfg := graph.GenConfig{Mode: graph.WeightUnit, MaxW: 1, Rng: rand.New(rand.NewSource(seed))}
+	g := graph.RandomSpanningTreePlus(n, 0, cfg)
+	rt, err := tree.BFSTree(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	l, err := layering.Build(rt)
+	if err != nil {
+		return nil, err
+	}
+	for layer := 1; layer <= l.NumLayers; layer++ {
+		paths, edges, maxLen := 0, 0, 0
+		for _, p := range l.Paths {
+			if p.Layer != layer {
+				continue
+			}
+			paths++
+			edges += len(p.Edges)
+			if len(p.Edges) > maxLen {
+				maxLen = len(p.Edges)
+			}
+		}
+		avg := 0.0
+		if paths > 0 {
+			avg = float64(edges) / float64(paths)
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", layer), f("%d", paths), f("%d", edges), f("%.1f", avg), f("%d", maxLen),
+		})
+	}
+	return t, nil
+}
+
+// E10 — Lemma 4.18: coverage multiplicity of R_k edges under both variants.
+func E10(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Lemma 4.18 — max coverage of R_k edges (<=2 improved, <=4 basic)",
+		Columns: []string{"n", "cover2-max", "cover4-max", "cover2-ok", "cover4-ok"},
+	}
+	for _, n := range sizes {
+		g, err := family("random", n, seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		maxOf := func(variant tap.Variant) (int, error) {
+			net := congest.NewNetwork(g)
+			bfs, err := primitives.BuildBFS(net, 0)
+			if err != nil {
+				return 0, err
+			}
+			rt, err := mst.KruskalTree(g, 0, net)
+			if err != nil {
+				return 0, err
+			}
+			solver, err := tap.NewSolver(net, bfs, rt)
+			if err != nil {
+				return 0, err
+			}
+			res, err := solver.SolveWeighted(0.25, variant)
+			if err != nil {
+				return 0, err
+			}
+			return res.MaxCoverRk, nil
+		}
+		c2, err := maxOf(tap.Cover2)
+		if err != nil {
+			return nil, err
+		}
+		c4, err := maxOf(tap.Cover4)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%d", c2), f("%d", c4), f("%v", c2 <= 2), f("%v", c4 <= 4),
+		})
+	}
+	return t, nil
+}
+
+// E11 — Theorems 5.1-5.3: tool correctness plus realized shortcut quality.
+func E11(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Theorems 5.1-5.3 — tree tools over shortcuts",
+		Columns: []string{"family", "n", "hierarchy-levels", "max-alpha+beta", "rounds"},
+	}
+	for _, fam := range []string{"treeleafcycle", "grid"} {
+		for _, n := range sizes {
+			g, err := family(fam, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			net := congest.NewNetwork(g)
+			bfs, err := primitives.BuildBFS(net, 0)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := mst.KruskalTree(g, 0, net)
+			if err != nil {
+				return nil, err
+			}
+			tl, err := shortcuts.NewTools(net, rt, &shortcuts.SteinerBuilder{G: g, BFS: bfs})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := tl.HeavyLightLabels(); err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fam, f("%d", g.N), f("%d", tl.H.Depth()), f("%d", tl.MaxQuality),
+				f("%d", net.Stats().TotalRounds()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E12 — Lemmas 5.4-5.5: XOR coverage detector accuracy and cover counts.
+func E12(trials int, n int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E12",
+		Title:   "Lemmas 5.4-5.5 — XOR coverage detection and cover counting",
+		Columns: []string{"trial", "n", "tree-edges", "detector-errors", "count-errors"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 50, Rng: rng}
+		g := graph.RandomSpanningTreePlus(n, n, cfg)
+		net := congest.NewNetwork(g)
+		bfs, err := primitives.BuildBFS(net, 0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := tree.BFSTree(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		tl, err := shortcuts.NewTools(net, rt, &shortcuts.SteinerBuilder{G: g, BFS: bfs})
+		if err != nil {
+			return nil, err
+		}
+		s := map[int]bool{}
+		for _, id := range rt.NonTreeEdgeIDs() {
+			if rng.Intn(2) == 0 {
+				s[id] = true
+			}
+		}
+		det, err := tl.CoveredDetection(s, rng)
+		if err != nil {
+			return nil, err
+		}
+		detErr := 0
+		for c := 0; c < g.N; c++ {
+			if c == rt.Root {
+				continue
+			}
+			want := false
+			for id := range s {
+				e := g.Edges[id]
+				if rt.Covers(e.U, e.V, c) {
+					want = true
+					break
+				}
+			}
+			if det[c] != want {
+				detErr++
+			}
+		}
+		marked := make([]bool, g.N)
+		for v := range marked {
+			marked[v] = v != rt.Root && rng.Intn(2) == 0
+		}
+		counts, err := tl.CoverCount(marked)
+		if err != nil {
+			return nil, err
+		}
+		cntErr := 0
+		for _, id := range rt.NonTreeEdgeIDs() {
+			e := g.Edges[id]
+			want := 0
+			for c := 0; c < g.N; c++ {
+				if c != rt.Root && marked[c] && rt.Covers(e.U, e.V, c) {
+					want++
+				}
+			}
+			if counts[id] != want {
+				cntErr++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", trial), f("%d", g.N), f("%d", g.N-1), f("%d", detErr), f("%d", cntErr),
+		})
+	}
+	return t, nil
+}
+
+// All runs every experiment with moderate default sizes.
+func All(seed int64) ([]*Table, error) {
+	var tables []*Table
+	add := func(t *Table, err error) error {
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+		return nil
+	}
+	if err := add(E1([]int{64, 128, 256}, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E2([]int{40, 80, 160}, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E3([]int{64, 128, 256, 512}, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E4([]int{63, 127}, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E5([]int{64, 256, 1024}, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E6([]int{32, 64, 128}, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E7([]int{48, 96}, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E8(8, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E9(300, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E10([]int{40, 80, 160}, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E11([]int{63, 127}, seed)); err != nil {
+		return nil, err
+	}
+	if err := add(E12(4, 60, seed)); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(tables, func(i, j int) bool { return tables[i].ID < tables[j].ID })
+	return tables, nil
+}

@@ -1,0 +1,308 @@
+// Package graph provides the weighted undirected graph substrate used by all
+// algorithms in this repository: adjacency representation, basic traversals,
+// bridge finding / 2-edge-connectivity testing, diameter computation, and a
+// set of instance generators matching the graph families discussed in the
+// paper (Erdős–Rényi, grids, rings with chords, low-diameter planar-like
+// families, and assorted trees).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Weight is the edge-weight type. The paper assumes polynomially bounded
+// integer weights so that a weight fits in an O(log n)-bit message.
+type Weight = int64
+
+// Edge is an undirected weighted edge. U < V is not required; the pair is
+// unordered but stored in a fixed orientation for determinism.
+type Edge struct {
+	U, V int
+	W    Weight
+}
+
+// Other returns the endpoint of e that is not v.
+func (e Edge) Other(v int) int {
+	if e.U == v {
+		return e.V
+	}
+	return e.U
+}
+
+// Graph is a weighted undirected multigraph stored as an edge list plus an
+// adjacency index. Vertices are 0..N-1; edges are identified by their dense
+// index into Edges. The zero value is an empty graph with no vertices.
+type Graph struct {
+	N     int
+	Edges []Edge
+	// adj[v] lists the incident edge ids of v.
+	adj [][]int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{N: n, adj: make([][]int, n)}
+}
+
+// AddEdge inserts the undirected edge {u,v} with weight w and returns its id.
+// Self-loops are rejected because no algorithm here tolerates them.
+func (g *Graph) AddEdge(u, v int, w Weight) (int, error) {
+	if u == v {
+		return -1, fmt.Errorf("graph: self-loop at vertex %d", u)
+	}
+	if u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return -1, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.N)
+	}
+	id := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{U: u, V: v, W: w})
+	g.adj[u] = append(g.adj[u], id)
+	g.adj[v] = append(g.adj[v], id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for generator code where inputs are known valid.
+// It panics on invalid input; library callers should use AddEdge.
+func (g *Graph) MustAddEdge(u, v int, w Weight) int {
+	id, err := g.AddEdge(u, v, w)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// Incident returns the edge ids incident to v. The returned slice is owned
+// by the graph and must not be mutated.
+func (g *Graph) Incident(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the neighbor vertices of v (with multiplicity for
+// parallel edges), in incident-edge order.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for _, id := range g.adj[v] {
+		out = append(out, g.Edges[id].Other(v))
+	}
+	return out
+}
+
+// TotalWeight sums the weights of the edge ids in set.
+func (g *Graph) TotalWeight(set []int) Weight {
+	var s Weight
+	for _, id := range set {
+		s += g.Edges[id].W
+	}
+	return s
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	h := New(g.N)
+	h.Edges = append([]Edge(nil), g.Edges...)
+	for v := range g.adj {
+		h.adj[v] = append([]int(nil), g.adj[v]...)
+	}
+	return h
+}
+
+// Subgraph returns the spanning subgraph of g containing exactly the edges
+// whose ids are in keep (vertex set unchanged).
+func (g *Graph) Subgraph(keep []int) *Graph {
+	h := New(g.N)
+	for _, id := range keep {
+		e := g.Edges[id]
+		h.MustAddEdge(e.U, e.V, e.W)
+	}
+	return h
+}
+
+// ErrDisconnected reports that an operation requiring connectivity was
+// invoked on a disconnected graph.
+var ErrDisconnected = errors.New("graph: graph is not connected")
+
+// BFS runs a breadth-first search from src and returns (parentEdge, dist)
+// where parentEdge[v] is the edge id used to reach v (-1 for src and for
+// unreachable vertices) and dist[v] is the hop distance (-1 if unreachable).
+func (g *Graph) BFS(src int) (parentEdge, dist []int) {
+	parentEdge = make([]int, g.N)
+	dist = make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+		parentEdge[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.adj[v] {
+			u := g.Edges[id].Other(v)
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				parentEdge[u] = id
+				queue = append(queue, u)
+			}
+		}
+	}
+	return parentEdge, dist
+}
+
+// Connected reports whether g is connected (true for the empty and
+// single-vertex graph).
+func (g *Graph) Connected() bool {
+	if g.N <= 1 {
+		return true
+	}
+	_, dist := g.BFS(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum hop distance from src, or an error if g
+// is disconnected.
+func (g *Graph) Eccentricity(src int) (int, error) {
+	_, dist := g.BFS(src)
+	ecc := 0
+	for _, d := range dist {
+		if d < 0 {
+			return 0, ErrDisconnected
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, nil
+}
+
+// Diameter computes the exact hop diameter by running a BFS from every
+// vertex. Intended for instance preparation, not for inner loops.
+func (g *Graph) Diameter() (int, error) {
+	if g.N == 0 {
+		return 0, nil
+	}
+	diam := 0
+	for v := 0; v < g.N; v++ {
+		ecc, err := g.Eccentricity(v)
+		if err != nil {
+			return 0, err
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// DiameterApprox returns a 2-approximation of the diameter using two BFS
+// sweeps (cheap; used for round accounting on large instances).
+func (g *Graph) DiameterApprox() (int, error) {
+	if g.N == 0 {
+		return 0, nil
+	}
+	_, dist := g.BFS(0)
+	far, best := 0, -1
+	for v, d := range dist {
+		if d < 0 {
+			return 0, ErrDisconnected
+		}
+		if d > best {
+			best, far = d, v
+		}
+	}
+	ecc, err := g.Eccentricity(far)
+	if err != nil {
+		return 0, err
+	}
+	return ecc, nil
+}
+
+// Bridges returns the ids of all bridge edges of g (edges whose removal
+// disconnects their component), via an iterative Tarjan low-link DFS.
+// Parallel edges are handled correctly: a duplicated edge is never a bridge.
+func (g *Graph) Bridges() []int {
+	disc := make([]int, g.N)
+	low := make([]int, g.N)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var bridges []int
+	timer := 0
+	type frame struct {
+		v, parentEdge, idx int
+	}
+	stack := make([]frame, 0, g.N)
+	for s := 0; s < g.N; s++ {
+		if disc[s] >= 0 {
+			continue
+		}
+		disc[s], low[s] = timer, timer
+		timer++
+		stack = append(stack[:0], frame{v: s, parentEdge: -1})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx < len(g.adj[f.v]) {
+				id := g.adj[f.v][f.idx]
+				f.idx++
+				if id == f.parentEdge {
+					continue
+				}
+				u := g.Edges[id].Other(f.v)
+				if disc[u] < 0 {
+					disc[u], low[u] = timer, timer
+					timer++
+					stack = append(stack, frame{v: u, parentEdge: id})
+				} else if disc[u] < low[f.v] {
+					low[f.v] = disc[u]
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					p := &stack[len(stack)-1]
+					if low[f.v] < low[p.v] {
+						low[p.v] = low[f.v]
+					}
+					if low[f.v] > disc[p.v] {
+						bridges = append(bridges, f.parentEdge)
+					}
+				}
+			}
+		}
+	}
+	sort.Ints(bridges)
+	return bridges
+}
+
+// TwoEdgeConnected reports whether g is connected, has at least 2 vertices'
+// worth of structure (n<=1 counts as trivially 2-edge-connected), and has no
+// bridges.
+func (g *Graph) TwoEdgeConnected() bool {
+	if g.N <= 1 {
+		return true
+	}
+	if !g.Connected() {
+		return false
+	}
+	return len(g.Bridges()) == 0
+}
+
+// MaxWeight returns the maximum edge weight (0 for an edgeless graph).
+func (g *Graph) MaxWeight() Weight {
+	var mx Weight
+	for _, e := range g.Edges {
+		if e.W > mx {
+			mx = e.W
+		}
+	}
+	return mx
+}

@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if _, err := g.AddEdge(0, 0, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := g.AddEdge(0, 3, 1); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	id, err := g.AddEdge(0, 1, 7)
+	if err != nil || id != 0 {
+		t.Fatalf("AddEdge = %d, %v", id, err)
+	}
+	if g.M() != 1 || g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("unexpected graph shape: m=%d", g.M())
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		diam int
+	}{
+		{"path5", pathGraph(5), 4},
+		{"cycle6", RingWithChords(6, 0, DefaultGenConfig(1)), 3},
+		{"grid3x4", Grid(3, 4, DefaultGenConfig(1)), 5},
+		{"single", New(1), 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := tc.g.Diameter()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != tc.diam {
+				t.Fatalf("diameter = %d, want %d", d, tc.diam)
+			}
+			da, err := tc.g.DiameterApprox()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if da > tc.diam || 2*da < tc.diam {
+				t.Fatalf("approx diameter %d not within [diam/2, diam] of %d", da, tc.diam)
+			}
+		})
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if _, err := g.Diameter(); err != ErrDisconnected {
+		t.Fatalf("Diameter err = %v, want ErrDisconnected", err)
+	}
+	if g.TwoEdgeConnected() {
+		t.Fatal("disconnected graph reported 2EC")
+	}
+}
+
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v-1, v, 1)
+	}
+	return g
+}
+
+func TestBridges(t *testing.T) {
+	// Two triangles joined by a single edge: exactly that edge is a bridge.
+	g := New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 0, 1)
+	bridge := g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(5, 3, 1)
+	br := g.Bridges()
+	if len(br) != 1 || br[0] != bridge {
+		t.Fatalf("Bridges = %v, want [%d]", br, bridge)
+	}
+	if g.TwoEdgeConnected() {
+		t.Fatal("bridge graph reported 2EC")
+	}
+}
+
+func TestBridgesPath(t *testing.T) {
+	g := pathGraph(5)
+	if got := len(g.Bridges()); got != 4 {
+		t.Fatalf("path bridges = %d, want 4", got)
+	}
+}
+
+func TestBridgesParallel(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 1, 2)
+	if got := g.Bridges(); len(got) != 0 {
+		t.Fatalf("parallel-edge pair reported bridges %v", got)
+	}
+	if !g.TwoEdgeConnected() {
+		t.Fatal("doubled edge should be 2EC")
+	}
+}
+
+// bridgesNaive is an O(m * (n+m)) reference: remove each edge and test
+// connectivity.
+func bridgesNaive(g *Graph) map[int]bool {
+	out := map[int]bool{}
+	for id := range g.Edges {
+		keep := make([]int, 0, g.M()-1)
+		for j := range g.Edges {
+			if j != id {
+				keep = append(keep, j)
+			}
+		}
+		if !g.Subgraph(keep).Connected() {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func TestBridgesAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(14)
+		cfg := GenConfig{Mode: WeightUnit, MaxW: 1, Rng: rng}
+		g := RandomSpanningTreePlus(n, rng.Intn(n), cfg)
+		want := bridgesNaive(g)
+		got := g.Bridges()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: bridges=%v want set %v", trial, got, want)
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("trial %d: edge %d wrongly reported as bridge", trial, id)
+			}
+		}
+	}
+}
+
+func TestGenerators2EC(t *testing.T) {
+	cfg := DefaultGenConfig(7)
+	tests := []struct {
+		name string
+		g    *Graph
+	}{
+		{"ring", RingWithChords(20, 5, cfg)},
+		{"grid", Grid(5, 7, cfg)},
+		{"treeleafcycle", TreeLeafCycle(4, cfg)},
+		{"dumbbell", Dumbbell(5, 4, cfg)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if !tc.g.TwoEdgeConnected() {
+				t.Fatalf("%s should be 2-edge-connected", tc.name)
+			}
+		})
+	}
+}
+
+func TestEnsure2EC(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		cfg := GenConfig{Mode: WeightUniform, MaxW: 100, Rng: rng}
+		g := RandomSpanningTreePlus(8+rng.Intn(40), rng.Intn(5), cfg)
+		if _, err := Ensure2EC(g, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if !g.TwoEdgeConnected() {
+			t.Fatal("Ensure2EC left a bridge")
+		}
+	}
+}
+
+func TestErdosRenyiConnected(t *testing.T) {
+	cfg := DefaultGenConfig(11)
+	g := ErdosRenyi(64, 0.05, cfg)
+	if !g.Connected() {
+		t.Fatal("ER generator must produce connected graphs")
+	}
+}
+
+func TestPathWithIntervalsFeasible(t *testing.T) {
+	cfg := DefaultGenConfig(5)
+	g := PathWithIntervals(40, 30, cfg)
+	if _, err := Ensure2EC(g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !g.TwoEdgeConnected() {
+		t.Fatal("path+intervals should be augmentable to 2EC")
+	}
+}
+
+func TestCaterpillarShape(t *testing.T) {
+	g := Caterpillar(5, 3, DefaultGenConfig(2))
+	if g.N != 20 || g.M() != 19 {
+		t.Fatalf("caterpillar n=%d m=%d", g.N, g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("caterpillar must be a tree (connected)")
+	}
+}
+
+// Property: in any connected generated graph, the set of bridges equals the
+// naive reference and removing a non-bridge keeps the graph connected.
+func TestBridgePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := GenConfig{Mode: WeightUnit, MaxW: 1, Rng: rng}
+		g := RandomSpanningTreePlus(3+rng.Intn(12), rng.Intn(8), cfg)
+		isBridge := make(map[int]bool)
+		for _, id := range g.Bridges() {
+			isBridge[id] = true
+		}
+		for id := range g.Edges {
+			keep := make([]int, 0, g.M()-1)
+			for j := range g.Edges {
+				if j != id {
+					keep = append(keep, j)
+				}
+			}
+			conn := g.Subgraph(keep).Connected()
+			if conn == isBridge[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := pathGraph(4)
+	h := g.Clone()
+	h.MustAddEdge(0, 3, 9)
+	if g.M() == h.M() {
+		t.Fatal("clone shares edge storage")
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	g := New(3)
+	a := g.MustAddEdge(0, 1, 5)
+	b := g.MustAddEdge(1, 2, 7)
+	if got := g.TotalWeight([]int{a, b}); got != 12 {
+		t.Fatalf("TotalWeight = %d", got)
+	}
+}

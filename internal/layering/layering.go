@@ -1,0 +1,265 @@
+// Package layering implements the tree layering of Section 4.3: layer 1
+// consists of the tree paths from each leaf to its lowest junction ancestor
+// (a junction has more than one child); contracting those paths and
+// repeating defines layers 2, 3, ...; the number of layers is O(log n)
+// (Claim 4.7). Each layer is a collection of vertex-disjoint paths; every
+// ancestor-descendant non-tree edge meets at most one path per layer
+// (Claim 4.8).
+//
+// The package also computes the petals of a tree edge with respect to a set
+// X of virtual edges (Claims 4.9/4.11): two edges of X that cover the edge
+// and all its X-neighbours in the same or higher layers. Petal computations
+// are routed through the segment aggregate machinery so their round bill is
+// accounted.
+package layering
+
+import (
+	"fmt"
+
+	"twoecss/internal/congest"
+	"twoecss/internal/lca"
+	"twoecss/internal/segments"
+	"twoecss/internal/tree"
+	"twoecss/internal/vgraph"
+)
+
+// Path is one path of one layer, listed bottom-up.
+type Path struct {
+	ID    int
+	Layer int
+	// Leaf is the lowest vertex of the path (leaf(P) in the paper).
+	Leaf int
+	// Top is the highest vertex (a junction of the contracted tree, or the
+	// root).
+	Top int
+	// Edges lists the child endpoints of the path's tree edges bottom-up:
+	// Edges[0] = Leaf's parent edge ... last edge's parent is Top.
+	Edges []int
+}
+
+// Layering is the complete layer decomposition of a rooted tree.
+type Layering struct {
+	T *tree.Rooted
+	// LayerOf[v] is the layer of tree edge {v,parent(v)} (root entry 0).
+	LayerOf []int
+	// LeafOf[v] is leaf(t) for tree edge v: the leaf of its layer path.
+	LeafOf []int
+	// PathOf[v] is the id of the layer path containing tree edge v.
+	PathOf []int
+	// Paths lists all layer paths.
+	Paths []Path
+	// NumLayers is the number of layers (max LayerOf).
+	NumLayers int
+}
+
+// Build computes the layering by literal iterated contraction. The
+// distributed construction costs O((D + sqrt n) log n) rounds (Claim 4.10);
+// callers accounting rounds charge congest.LayeringRounds.
+func Build(t *tree.Rooted) (*Layering, error) {
+	n := t.G.N
+	l := &Layering{
+		T:       t,
+		LayerOf: make([]int, n),
+		LeafOf:  make([]int, n),
+		PathOf:  make([]int, n),
+	}
+	for v := range l.PathOf {
+		l.PathOf[v] = -1
+		l.LeafOf[v] = -1
+	}
+	if n <= 1 {
+		return l, nil
+	}
+	childCount := make([]int, n)
+	for v := 0; v < n; v++ {
+		childCount[v] = len(t.Children[v])
+	}
+	remaining := n - 1
+	leaves := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if childCount[v] == 0 && v != t.Root {
+			leaves = append(leaves, v)
+		}
+	}
+	for layer := 1; remaining > 0; layer++ {
+		if layer > n {
+			return nil, fmt.Errorf("layering: failed to converge")
+		}
+		// Junction status is taken against the tree at the START of the
+		// iteration; live counts only track full absorption.
+		startCount := append([]int(nil), childCount...)
+		junction := func(v int) bool { return startCount[v] > 1 }
+		var candidates []int
+		for _, leaf := range leaves {
+			p := Path{ID: len(l.Paths), Layer: layer, Leaf: leaf}
+			v := leaf
+			for {
+				l.LayerOf[v] = layer
+				l.LeafOf[v] = leaf
+				l.PathOf[v] = p.ID
+				p.Edges = append(p.Edges, v)
+				remaining--
+				parent := t.Parent[v]
+				if parent == t.Root || junction(parent) {
+					p.Top = parent
+					childCount[parent]--
+					candidates = append(candidates, parent)
+					break
+				}
+				v = parent
+			}
+			l.Paths = append(l.Paths, p)
+		}
+		// Junctions fully absorbed this round become next-iteration leaves.
+		var next []int
+		seen := map[int]bool{}
+		for _, v := range candidates {
+			if childCount[v] == 0 && v != t.Root && !seen[v] {
+				seen[v] = true
+				next = append(next, v)
+			}
+		}
+		leaves = next
+		if layer > l.NumLayers {
+			l.NumLayers = layer
+		}
+		if len(leaves) == 0 && remaining > 0 {
+			return nil, fmt.Errorf("layering: stuck with %d edges left", remaining)
+		}
+	}
+	return l, nil
+}
+
+// EdgesInLayer returns the tree-edge children in the given layer.
+func (l *Layering) EdgesInLayer(layer int) []int {
+	var out []int
+	for v := 0; v < len(l.LayerOf); v++ {
+		if v != l.T.Root && l.LayerOf[v] == layer {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Petals are the two distinguished covering edges of a tree edge with
+// respect to an edge set X (Section 4.3). Higher is the X-edge covering the
+// tree edge whose ancestor endpoint is highest; Lower is the X-edge
+// reaching deepest down the tree edge's layer path. Either may be -1 if no
+// X-edge covers the tree edge.
+type Petals struct {
+	Higher, Lower int
+}
+
+const (
+	petalShift = 22
+	petalMask  = (1 << petalShift) - 1
+	petalNone  = int64(1) << 62
+)
+
+// ComputePetals computes, for every tree edge in the given layer, its petals
+// with respect to the virtual edge set X (given as a membership predicate).
+// Aggregation is routed through the segment machinery (two PerVEdge /
+// PerTreeEdge rounds, O(D + sqrt n) each, Claim 4.11).
+func ComputePetals(agg *segments.Aggregator, l *Layering, layer int, inX func(ve int) bool) (map[int]Petals, error) {
+	vg := agg.VG
+	if len(vg.VEdges) >= 1<<petalShift {
+		return nil, fmt.Errorf("layering: too many virtual edges for petal encoding")
+	}
+	min := func(a, b congest.Word) congest.Word {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	max := func(a, b congest.Word) congest.Word {
+		if a > b {
+			return a
+		}
+		return b
+	}
+
+	// Higher petal: per tree edge, the covering X-edge minimizing
+	// (depth(anc), ve).
+	hi, err := agg.PerTreeEdge(func(ve int) (congest.Word, bool) {
+		if !inX(ve) {
+			return 0, false
+		}
+		e := vg.VEdges[ve]
+		return congest.Word(e.AncL.Depth)<<petalShift | congest.Word(ve), true
+	}, min, petalNone)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lower petal, step 1 (Claim 4.8): every X-edge learns leaf(t) of the
+	// single layer-`layer` path it meets: min LeafOf over covered edges of
+	// this layer.
+	leafWord, err := agg.PerVEdge(func(c int) congest.Word {
+		if l.LayerOf[c] != layer {
+			return petalNone
+		}
+		return congest.Word(l.LeafOf[c])
+	}, min, petalNone)
+	if err != nil {
+		return nil, err
+	}
+	// Step 2: the simulating vertex computes u_e = LCA(leaf, dec) locally
+	// from labels; deeper u_e reaches further down the path.
+	ue := make([]int, len(vg.VEdges))
+	for ve := range vg.VEdges {
+		ue[ve] = -1
+		if !inX(ve) || leafWord[ve] == petalNone {
+			continue
+		}
+		leaf := int(leafWord[ve])
+		w, err := lca.LCA(vg.Lab.Of(leaf), vg.Lab.Of(vg.VEdges[ve].Dec))
+		if err != nil {
+			return nil, err
+		}
+		ue[ve] = w.ID
+	}
+	// Step 3: per tree edge, the covering X-edge maximizing
+	// (depth(u_e), -ve).
+	lo, err := agg.PerTreeEdge(func(ve int) (congest.Word, bool) {
+		if !inX(ve) || ue[ve] < 0 {
+			return 0, false
+		}
+		d := vg.Lab.Of(ue[ve]).Core.Depth
+		return congest.Word(d)<<petalShift | congest.Word(petalMask-ve), true
+	}, max, -1)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[int]Petals)
+	for _, c := range l.EdgesInLayer(layer) {
+		p := Petals{Higher: -1, Lower: -1}
+		if hi[c] != petalNone {
+			p.Higher = int(hi[c] & petalMask)
+		}
+		if lo[c] >= 0 {
+			p.Lower = petalMask - int(lo[c]&petalMask)
+		}
+		if (p.Higher < 0) != (p.Lower < 0) {
+			return nil, fmt.Errorf("layering: inconsistent petals for edge %d", c)
+		}
+		out[c] = p
+	}
+	return out, nil
+}
+
+// Neighbours reports whether tree edges t1 and t2 are neighbours with
+// respect to X: some X-edge covers both (used by tests and the MIS logic).
+func Neighbours(vg *vgraph.VGraph, inX func(ve int) bool, t1, t2 int) bool {
+	for ve := range vg.VEdges {
+		if inX(ve) && vg.Covers(ve, t1) && vg.Covers(ve, t2) {
+			return true
+		}
+	}
+	return false
+}
+
+// ChargeBuild bills the Claim 4.10 construction cost on net.
+func ChargeBuild(net *congest.Network, n, diam int) error {
+	return net.Charge(congest.LayeringRounds(n, diam), "layer decomposition (Claim 4.10)")
+}

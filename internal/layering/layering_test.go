@@ -1,0 +1,353 @@
+package layering
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twoecss/internal/congest"
+	"twoecss/internal/graph"
+	"twoecss/internal/primitives"
+	"twoecss/internal/segments"
+	"twoecss/internal/tree"
+	"twoecss/internal/vgraph"
+)
+
+func mustTree(t *testing.T, g *graph.Graph, root int) *tree.Rooted {
+	t.Helper()
+	rt, err := tree.BFSTree(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v-1, v, 1)
+	}
+	return g
+}
+
+func TestLayeringPath(t *testing.T) {
+	rt := mustTree(t, pathGraph(10), 0)
+	l, err := Build(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumLayers != 1 {
+		t.Fatalf("path layers = %d, want 1", l.NumLayers)
+	}
+	if len(l.Paths) != 1 || l.Paths[0].Leaf != 9 || l.Paths[0].Top != 0 {
+		t.Fatalf("path structure wrong: %+v", l.Paths)
+	}
+}
+
+func TestLayeringStar(t *testing.T) {
+	g := graph.New(7)
+	for v := 1; v < 7; v++ {
+		g.MustAddEdge(0, v, 1)
+	}
+	l, err := Build(mustTree(t, g, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumLayers != 1 || len(l.Paths) != 6 {
+		t.Fatalf("star: layers=%d paths=%d", l.NumLayers, len(l.Paths))
+	}
+}
+
+func TestLayeringCaterpillar(t *testing.T) {
+	// Spine of 6 with 2 legs each, rooted at spine end: legs are layer 1,
+	// spine is layer 2.
+	g := graph.Caterpillar(6, 2, graph.DefaultGenConfig(1))
+	rt := mustTree(t, g, 0)
+	l, err := Build(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumLayers != 2 {
+		t.Fatalf("caterpillar layers = %d, want 2", l.NumLayers)
+	}
+	for v := 6; v < g.N; v++ { // leg vertices
+		if l.LayerOf[v] != 1 {
+			t.Fatalf("leg edge %d in layer %d", v, l.LayerOf[v])
+		}
+	}
+	for v := 1; v < 6; v++ { // spine vertices except root
+		if l.LayerOf[v] != 2 {
+			t.Fatalf("spine edge %d in layer %d", v, l.LayerOf[v])
+		}
+	}
+}
+
+func TestLayeringBinaryTreeLogLayers(t *testing.T) {
+	// A complete binary tree of depth d has exactly d layers.
+	for depth := 2; depth <= 7; depth++ {
+		n := (1 << (depth + 1)) - 1
+		g := graph.New(n)
+		for v := 0; v < n; v++ {
+			if 2*v+1 < n {
+				g.MustAddEdge(v, 2*v+1, 1)
+			}
+			if 2*v+2 < n {
+				g.MustAddEdge(v, 2*v+2, 1)
+			}
+		}
+		l, err := Build(mustTree(t, g, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.NumLayers != depth {
+			t.Fatalf("depth-%d binary tree: %d layers", depth, l.NumLayers)
+		}
+	}
+}
+
+// Claim 4.7: the number of layers is at most log2(#leaves)+1.
+func TestClaim47LayerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(400)
+		cfg := graph.GenConfig{Mode: graph.WeightUnit, MaxW: 1, Rng: rng}
+		g := graph.RandomSpanningTreePlus(n, 0, cfg)
+		rt := mustTree(t, g, rng.Intn(n))
+		l, err := Build(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves := 0
+		for v := 0; v < n; v++ {
+			if len(rt.Children[v]) == 0 {
+				leaves++
+			}
+		}
+		bound := 1
+		for 1<<bound < leaves {
+			bound++
+		}
+		if l.NumLayers > bound+1 {
+			t.Fatalf("n=%d leaves=%d: %d layers > bound %d", n, leaves, l.NumLayers, bound+1)
+		}
+		// Every non-root edge must be layered and on a path.
+		for v := 0; v < n; v++ {
+			if v == rt.Root {
+				continue
+			}
+			if l.LayerOf[v] < 1 || l.PathOf[v] < 0 || l.LeafOf[v] < 0 {
+				t.Fatalf("edge %d not layered", v)
+			}
+		}
+	}
+}
+
+// Monotonicity: along any root path, layers are non-decreasing towards the
+// root (stated in the proof of Claim 4.8).
+func TestLayerMonotoneUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(200)
+		cfg := graph.GenConfig{Mode: graph.WeightUnit, MaxW: 1, Rng: rng}
+		g := graph.RandomSpanningTreePlus(n, 0, cfg)
+		rt := mustTree(t, g, 0)
+		l, err := Build(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			p := rt.Parent[v]
+			if v == rt.Root || p == rt.Root {
+				continue
+			}
+			if l.LayerOf[p] < l.LayerOf[v] {
+				t.Fatalf("layer decreases from %d(%d) to parent %d(%d)",
+					v, l.LayerOf[v], p, l.LayerOf[p])
+			}
+		}
+	}
+}
+
+// Claim 4.8: a non-tree ancestor-descendant edge meets at most one path per
+// layer.
+func TestClaim48OnePathPerLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(80)
+		cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 9, Rng: rng}
+		g := graph.RandomSpanningTreePlus(n, n, cfg)
+		rt := mustTree(t, g, 0)
+		vg, err := vgraph.BuildFromGraph(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Build(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ve := range vg.VEdges {
+			perLayer := map[int]map[int]bool{}
+			for _, c := range vg.CoveredTreeEdges(ve) {
+				ly := l.LayerOf[c]
+				if perLayer[ly] == nil {
+					perLayer[ly] = map[int]bool{}
+				}
+				perLayer[ly][l.PathOf[c]] = true
+			}
+			for ly, paths := range perLayer {
+				if len(paths) > 1 {
+					t.Fatalf("vedge %d meets %d paths in layer %d", ve, len(paths), ly)
+				}
+			}
+		}
+	}
+}
+
+func petalsFixture(t *testing.T, seed int64, n, extra int) (*segments.Aggregator, *vgraph.VGraph, *tree.Rooted, *Layering) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 30, Rng: rng}
+	g := graph.RandomSpanningTreePlus(n, extra, cfg)
+	rt := mustTree(t, g, 0)
+	vg, err := vgraph.BuildFromGraph(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := segments.Build(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := congest.NewNetwork(g)
+	bfs, err := primitives.BuildBFS(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segments.NewAggregator(net, bfs, d, vg), vg, rt, l
+}
+
+// petalsBrute recomputes petals per definition for one tree edge.
+func petalsBrute(vg *vgraph.VGraph, rt *tree.Rooted, l *Layering, c int, inX func(int) bool) Petals {
+	p := Petals{Higher: -1, Lower: -1}
+	bestHi := 1 << 30
+	bestLo := -1
+	for ve := range vg.VEdges {
+		if !inX(ve) || !vg.Covers(ve, c) {
+			continue
+		}
+		e := vg.VEdges[ve]
+		d := rt.Depth[e.Anc]
+		if d < bestHi || (d == bestHi && ve < p.Higher) {
+			bestHi = d
+			p.Higher = ve
+		}
+		u := rt.LCA(l.LeafOf[c], e.Dec)
+		du := rt.Depth[u]
+		if du > bestLo || (du == bestLo && ve < p.Lower) {
+			bestLo = du
+			p.Lower = ve
+		}
+	}
+	return p
+}
+
+func TestComputePetalsMatchesBrute(t *testing.T) {
+	for _, seed := range []int64{41, 42, 43} {
+		agg, vg, rt, l := petalsFixture(t, seed, 60, 90)
+		rng := rand.New(rand.NewSource(seed * 7))
+		inX := make([]bool, len(vg.VEdges))
+		for ve := range inX {
+			inX[ve] = rng.Intn(3) > 0
+		}
+		pred := func(ve int) bool { return inX[ve] }
+		for layer := 1; layer <= l.NumLayers; layer++ {
+			got, err := ComputePetals(agg, l, layer, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range l.EdgesInLayer(layer) {
+				want := petalsBrute(vg, rt, l, c, pred)
+				g := got[c]
+				if g.Higher != want.Higher || g.Lower != want.Lower {
+					t.Fatalf("seed %d layer %d edge %d: got %+v want %+v",
+						seed, layer, c, g, want)
+				}
+			}
+		}
+	}
+}
+
+// Claim 4.9: the petals of t (w.r.t. X) cover every X-neighbour of t in the
+// same or higher layers.
+func TestClaim49PetalsCoverNeighbours(t *testing.T) {
+	agg, vg, rt, l := petalsFixture(t, 77, 50, 80)
+	rng := rand.New(rand.NewSource(3))
+	inX := make([]bool, len(vg.VEdges))
+	for ve := range inX {
+		inX[ve] = rng.Intn(2) == 0
+	}
+	pred := func(ve int) bool { return inX[ve] }
+	for layer := 1; layer <= l.NumLayers; layer++ {
+		pet, err := ComputePetals(agg, l, layer, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range l.EdgesInLayer(layer) {
+			p := pet[c]
+			if p.Higher < 0 {
+				continue // uncovered by X
+			}
+			for c2 := 0; c2 < rt.G.N; c2++ {
+				if c2 == rt.Root || l.LayerOf[c2] < layer {
+					continue
+				}
+				if !Neighbours(vg, pred, c, c2) {
+					continue
+				}
+				if !vg.Covers(p.Higher, c2) && !vg.Covers(p.Lower, c2) {
+					t.Fatalf("petals of %d (hi=%d lo=%d) miss neighbour %d", c, p.Higher, p.Lower, c2)
+				}
+			}
+		}
+	}
+}
+
+func TestLayeringQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(150)
+		cfg := graph.GenConfig{Mode: graph.WeightUnit, MaxW: 1, Rng: rng}
+		g := graph.RandomSpanningTreePlus(n, 0, cfg)
+		rt, err := tree.BFSTree(g, 0)
+		if err != nil {
+			return false
+		}
+		l, err := Build(rt)
+		if err != nil {
+			return false
+		}
+		// Paths within a layer must be vertex-disjoint (edges' children
+		// unique) and contiguous bottom-up chains.
+		for _, p := range l.Paths {
+			for i, v := range p.Edges {
+				if l.PathOf[v] != p.ID {
+					return false
+				}
+				if i > 0 && rt.Parent[p.Edges[i-1]] != v {
+					return false
+				}
+			}
+			last := p.Edges[len(p.Edges)-1]
+			if rt.Parent[last] != p.Top {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

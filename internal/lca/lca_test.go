@@ -1,0 +1,165 @@
+package lca
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twoecss/internal/graph"
+	"twoecss/internal/tree"
+)
+
+func randTree(rng *rand.Rand, n int) *tree.Rooted {
+	cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 10, Rng: rng}
+	g := graph.RandomSpanningTreePlus(n, 0, cfg)
+	t, err := tree.BFSTree(g, rng.Intn(n))
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestIsAncestorFromLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rt := randTree(rng, 60)
+	lb := Build(rt)
+	for u := 0; u < 60; u++ {
+		for v := 0; v < 60; v++ {
+			if got, want := IsAncestor(lb.Of(u).Core, lb.Of(v).Core), rt.IsAncestor(u, v); got != want {
+				t.Fatalf("IsAncestor(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestLCAFromLabelsExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(50)
+		rt := randTree(rng, n)
+		lb := Build(rt)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				got, err := LCA(lb.Of(u), lb.Of(v))
+				if err != nil {
+					t.Fatalf("trial %d LCA(%d,%d): %v", trial, u, v, err)
+				}
+				want := rt.LCA(u, v)
+				if got.ID != want {
+					t.Fatalf("trial %d (n=%d): LCA(%d,%d) = %d, want %d", trial, n, u, v, got.ID, want)
+				}
+				if got.Tin != rt.Tin[want] || got.Tout != rt.Tout[want] || got.Depth != rt.Depth[want] {
+					t.Fatalf("LCA label fields wrong for %d", want)
+				}
+			}
+		}
+	}
+}
+
+func TestLCAOnPathAndStar(t *testing.T) {
+	// Path: LCA is the shallower vertex.
+	g := graph.New(8)
+	for v := 1; v < 8; v++ {
+		g.MustAddEdge(v-1, v, 1)
+	}
+	rt, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := Build(rt)
+	got, err := LCA(lb.Of(3), lb.Of(6))
+	if err != nil || got.ID != 3 {
+		t.Fatalf("path LCA(3,6) = %v, %v", got, err)
+	}
+	// Star: LCA of two leaves is the center.
+	s := graph.New(6)
+	for v := 1; v < 6; v++ {
+		s.MustAddEdge(0, v, 1)
+	}
+	st, err := tree.BFSTree(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slb := Build(st)
+	got, err = LCA(slb.Of(2), slb.Of(5))
+	if err != nil || got.ID != 0 {
+		t.Fatalf("star LCA(2,5) = %v, %v", got, err)
+	}
+}
+
+func TestCoversObservation1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(40)
+		rt := randTree(rng, n)
+		lb := Build(rt)
+		// Sample ancestor-descendant pairs and check Covers against the
+		// structural definition.
+		for q := 0; q < 60; q++ {
+			dec := rng.Intn(n)
+			if rt.Depth[dec] == 0 {
+				continue
+			}
+			anc := rt.KthAncestor(dec, 1+rng.Intn(rt.Depth[dec]))
+			for c := 0; c < n; c++ {
+				if c == rt.Root {
+					continue
+				}
+				want := rt.Covers(anc, dec, c)
+				got := Covers(lb.Of(c).Core, lb.Of(anc).Core, lb.Of(dec).Core)
+				if got != want {
+					t.Fatalf("Covers(t=%d, anc=%d, dec=%d) = %v, want %v", c, anc, dec, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLightListShort(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(400)
+		rt := randTree(rng, n)
+		lb := Build(rt)
+		lg := 0
+		for 1<<lg < n {
+			lg++
+		}
+		for v := 0; v < n; v++ {
+			if len(lb.Of(v).Light) > lg+1 {
+				t.Fatalf("label of %d has %d light edges (n=%d)", v, len(lb.Of(v).Light), n)
+			}
+		}
+	}
+}
+
+func TestHigherAndSameVertex(t *testing.T) {
+	a := Label{Tin: 1, Tout: 10, Depth: 0, ID: 0}
+	b := Label{Tin: 2, Tout: 5, Depth: 3, ID: 4}
+	if Higher(a, b) != a || Higher(b, a) != a {
+		t.Fatal("Higher picked the deeper label")
+	}
+	if SameVertex(a, b) || !SameVertex(a, a) {
+		t.Fatal("SameVertex wrong")
+	}
+}
+
+func TestLCAQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(80)
+		rt := randTree(rng, n)
+		lb := Build(rt)
+		for q := 0; q < 40; q++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			got, err := LCA(lb.Of(u), lb.Of(v))
+			if err != nil || got.ID != rt.LCA(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package primitives
+
+import (
+	"fmt"
+	"sort"
+
+	"twoecss/internal/congest"
+	"twoecss/internal/tree"
+)
+
+// KeyedCombine convergecasts per-key values from all vertices to the root
+// with in-network combining: every vertex starts with a (possibly empty)
+// map key -> value; intermediate vertices combine entries with equal keys
+// using op, re-sending a key if a later arrival improves it. op MUST be
+// commutative, associative and idempotent (min/max/or/and): re-combining a
+// stale partial with a fresher one must absorb, otherwise use
+// KeyedSumOrdered. The root ends with the combined value per key.
+// Rounds: O(height + #keys), one entry per edge per round.
+func KeyedCombine(net *congest.Network, t *tree.Rooted, perNode []map[congest.Word]congest.Word, op Combine) (map[congest.Word]congest.Word, error) {
+	g := net.G
+	if len(perNode) != g.N {
+		return nil, fmt.Errorf("primitives: perNode length %d != n", len(perNode))
+	}
+	acc := make([]map[congest.Word]congest.Word, g.N)
+	dirty := make([][]congest.Word, g.N)
+	inDirty := make([]map[congest.Word]bool, g.N)
+	for v := 0; v < g.N; v++ {
+		acc[v] = make(map[congest.Word]congest.Word, len(perNode[v]))
+		inDirty[v] = make(map[congest.Word]bool, len(perNode[v]))
+		keys := make([]congest.Word, 0, len(perNode[v]))
+		for k, val := range perNode[v] {
+			acc[v][k] = val
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			dirty[v] = append(dirty[v], k)
+			inDirty[v][k] = true
+		}
+	}
+	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
+		for _, m := range inbox {
+			k, val := m.Data[0], m.Data[1]
+			cur, ok := acc[v][k]
+			merged := val
+			if ok {
+				merged = op(cur, val)
+			}
+			if !ok || merged != cur {
+				acc[v][k] = merged
+				if !inDirty[v][k] {
+					inDirty[v][k] = true
+					dirty[v] = append(dirty[v], k)
+				}
+			}
+		}
+		if t.ParentEdge[v] < 0 || len(dirty[v]) == 0 {
+			dirty[v] = dirty[v][:0]
+			return nil, false
+		}
+		k := dirty[v][0]
+		dirty[v] = dirty[v][1:]
+		inDirty[v][k] = false
+		msg := congest.Msg{EdgeID: t.ParentEdge[v], From: v, Data: []congest.Word{k, acc[v][k]}}
+		return []congest.Msg{msg}, len(dirty[v]) > 0
+	}
+	total := 0
+	for _, m := range perNode {
+		total += len(m)
+	}
+	if err := net.Run(handler, nil, maxRoundsFor(g, 4*total)); err != nil {
+		return nil, err
+	}
+	return acc[t.Root], nil
+}
+
+// KeyedCombineBroadcast runs KeyedCombine and then broadcasts the combined
+// table so every vertex knows the value of every key.
+// Rounds: O(height + #keys).
+func KeyedCombineBroadcast(net *congest.Network, t *tree.Rooted, perNode []map[congest.Word]congest.Word, op Combine) (map[congest.Word]congest.Word, error) {
+	table, err := KeyedCombine(net, t, perNode, op)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]congest.Word, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	items := make([]Item, 0, len(keys))
+	for _, k := range keys {
+		items = append(items, Item{k, table[k]})
+	}
+	if _, err := Broadcast(net, t, items); err != nil {
+		return nil, err
+	}
+	return table, nil
+}

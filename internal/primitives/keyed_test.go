@@ -1,0 +1,137 @@
+package primitives
+
+import (
+	"math/rand"
+	"testing"
+
+	"twoecss/internal/congest"
+	"twoecss/internal/graph"
+)
+
+func TestKeyedCombineMin(t *testing.T) {
+	net, rt := testNet(t, 21, 50)
+	rng := rand.New(rand.NewSource(77))
+	perNode := make([]map[congest.Word]congest.Word, 50)
+	want := map[congest.Word]congest.Word{}
+	for v := 0; v < 50; v++ {
+		perNode[v] = map[congest.Word]congest.Word{}
+		for j := 0; j < rng.Intn(4); j++ {
+			k := congest.Word(rng.Intn(12))
+			val := congest.Word(rng.Intn(1000))
+			if cur, ok := perNode[v][k]; !ok || val < cur {
+				perNode[v][k] = val
+			}
+			if cur, ok := want[k]; !ok || perNode[v][k] < cur {
+				want[k] = perNode[v][k]
+			}
+		}
+	}
+	min := func(a, b congest.Word) congest.Word {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	got, err := KeyedCombine(net, rt, perNode, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: got %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestKeyedSumOrderedExact(t *testing.T) {
+	for _, n := range []int{2, 5, 30, 80} {
+		net, rt := testNet(t, int64(n), n)
+		rng := rand.New(rand.NewSource(int64(n * 3)))
+		perNode := make([]map[congest.Word]congest.Word, n)
+		want := map[congest.Word]congest.Word{}
+		for v := 0; v < n; v++ {
+			perNode[v] = map[congest.Word]congest.Word{}
+			for j := 0; j < rng.Intn(5); j++ {
+				k := congest.Word(rng.Intn(9))
+				val := congest.Word(1 + rng.Intn(50))
+				perNode[v][k] += val
+			}
+			for k, val := range perNode[v] {
+				want[k] += val
+			}
+		}
+		sum := func(a, b congest.Word) congest.Word { return a + b }
+		got, err := KeyedSumOrdered(net, rt, perNode, sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: got %d keys, want %d", n, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("n=%d key %d: got %d, want %d", n, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestKeyedSumOrderedPipelines(t *testing.T) {
+	// Path graph: K keys spread along the path must cost O(n + K), not
+	// O(n*K).
+	n, K := 80, 24
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v-1, v, 1)
+	}
+	net := congest.NewNetwork(g)
+	rt, err := BuildBFS(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := make([]map[congest.Word]congest.Word, n)
+	for v := 0; v < n; v++ {
+		perNode[v] = map[congest.Word]congest.Word{congest.Word(v % K): 1}
+	}
+	base := net.Stats().SimulatedRounds
+	sum := func(a, b congest.Word) congest.Word { return a + b }
+	got, err := KeyedSumOrdered(net, rt, perNode, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := net.Stats().SimulatedRounds - base
+	if rounds > int64(3*n+6*K+20) {
+		t.Fatalf("keyed sum took %d rounds on path %d with %d keys", rounds, n, K)
+	}
+	var total congest.Word
+	for _, v := range got {
+		total += v
+	}
+	if total != congest.Word(n) {
+		t.Fatalf("total mass %d, want %d", total, n)
+	}
+}
+
+func TestKeyedCombineBroadcastReachesAll(t *testing.T) {
+	net, rt := testNet(t, 23, 25)
+	perNode := make([]map[congest.Word]congest.Word, 25)
+	for v := range perNode {
+		perNode[v] = map[congest.Word]congest.Word{congest.Word(v % 3): congest.Word(v)}
+	}
+	max := func(a, b congest.Word) congest.Word {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	table, err := KeyedCombineBroadcast(net, rt, perNode, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table[0] != 24 || table[1] != 22 || table[2] != 23 {
+		t.Fatalf("table = %v", table)
+	}
+}

@@ -1,0 +1,113 @@
+package primitives
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"twoecss/internal/congest"
+	"twoecss/internal/tree"
+)
+
+// KeyedSumOrdered convergecasts per-key values to the root with exact-once
+// combining, supporting non-idempotent operators (sum, xor, float-sum).
+// Every participant streams its keys in increasing order; a vertex emits key
+// k upward only once each child has either finished or progressed past k,
+// so each subtree contributes to each key exactly once. This is the
+// pipelined aggregate convergecast the paper invokes for per-highway
+// aggregation (Section 4.2.3).
+// Rounds: O(height + #keys).
+func KeyedSumOrdered(net *congest.Network, t *tree.Rooted, perNode []map[congest.Word]congest.Word, op Combine) (map[congest.Word]congest.Word, error) {
+	g := net.G
+	if len(perNode) != g.N {
+		return nil, fmt.Errorf("primitives: perNode length %d != n", len(perNode))
+	}
+	const doneTag = math.MaxInt64
+
+	acc := make([]map[congest.Word]congest.Word, g.N)
+	keys := make([][]congest.Word, g.N)           // own ∪ received keys, kept sorted
+	progress := make([]map[int]congest.Word, g.N) // child vertex -> last key (doneTag when finished)
+	childCount := make([]int, g.N)
+	sentDone := make([]bool, g.N)
+
+	for v := 0; v < g.N; v++ {
+		acc[v] = make(map[congest.Word]congest.Word, len(perNode[v]))
+		for k, val := range perNode[v] {
+			acc[v][k] = val
+			keys[v] = append(keys[v], k)
+		}
+		sort.Slice(keys[v], func(i, j int) bool { return keys[v][i] < keys[v][j] })
+		childCount[v] = len(t.Children[v])
+		progress[v] = make(map[int]congest.Word, childCount[v])
+	}
+
+	// childFloor returns the smallest progress over v's children
+	// (doneTag if v has no children or all are done).
+	childFloor := func(v int) congest.Word {
+		if len(progress[v]) < childCount[v] {
+			return math.MinInt64 // some child has not reported at all
+		}
+		floor := congest.Word(doneTag)
+		for _, p := range progress[v] {
+			if p < floor {
+				floor = p
+			}
+		}
+		return floor
+	}
+
+	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
+		for _, m := range inbox {
+			from := m.From
+			k := m.Data[0]
+			if k == doneTag {
+				progress[v][from] = doneTag
+				continue
+			}
+			val := m.Data[1]
+			if cur, ok := acc[v][k]; ok {
+				acc[v][k] = op(cur, val)
+			} else {
+				acc[v][k] = val
+				// Insert in sorted position (arrivals are ordered per
+				// child, but interleave across children).
+				i := sort.Search(len(keys[v]), func(i int) bool { return keys[v][i] >= k })
+				keys[v] = append(keys[v], 0)
+				copy(keys[v][i+1:], keys[v][i:])
+				keys[v][i] = k
+			}
+			progress[v][from] = k
+		}
+		if t.ParentEdge[v] < 0 || sentDone[v] {
+			return nil, false
+		}
+		floor := childFloor(v)
+		if len(keys[v]) > 0 {
+			k := keys[v][0]
+			if k <= floor {
+				keys[v] = keys[v][1:]
+				msg := congest.Msg{EdgeID: t.ParentEdge[v], From: v,
+					Data: []congest.Word{k, acc[v][k]}}
+				return []congest.Msg{msg}, true
+			}
+			return nil, true // wait for children to progress past k
+		}
+		if floor == doneTag {
+			sentDone[v] = true
+			msg := congest.Msg{EdgeID: t.ParentEdge[v], From: v,
+				Data: []congest.Word{doneTag}}
+			return []congest.Msg{msg}, false
+		}
+		return nil, true
+	}
+	total := 0
+	for _, m := range perNode {
+		total += len(m)
+	}
+	if err := net.Run(handler, nil, maxRoundsFor(g, 4*total)); err != nil {
+		return nil, err
+	}
+	// Drop keys already streamed away at the root? The root never streams;
+	// acc[root] holds the full table.
+	return acc[t.Root], nil
+}

@@ -1,0 +1,280 @@
+// Package primitives implements the standard CONGEST building blocks the
+// paper composes its algorithms from, as real message-level simulations on a
+// congest.Network: distributed BFS-tree construction, pipelined broadcast
+// and convergecast of k values over a rooted tree, subtree and root-path
+// aggregation, and global aggregate/termination queries.
+//
+// Round complexities (all measured by the engine, stated here for
+// reference): BFS is O(D); a pipelined k-item broadcast or gather costs
+// O(height + k); subtree/root-path aggregation cost O(height); a global
+// aggregate costs O(height).
+package primitives
+
+import (
+	"fmt"
+
+	"twoecss/internal/congest"
+	"twoecss/internal/graph"
+	"twoecss/internal/tree"
+)
+
+// maxRoundsFor bounds primitive executions: generous linear budget.
+func maxRoundsFor(g *graph.Graph, extra int) int64 {
+	return int64(4*g.N + 4*g.M() + extra + 64)
+}
+
+// BuildBFS constructs a BFS spanning tree rooted at root by distributed
+// flooding: each vertex joins the tree when it first hears an explore
+// message, adopting the minimum-id sender among same-round arrivals as its
+// parent. Rounds: O(ecc(root)).
+func BuildBFS(net *congest.Network, root int) (*tree.Rooted, error) {
+	g := net.G
+	if root < 0 || root >= g.N {
+		return nil, fmt.Errorf("primitives: bad root %d", root)
+	}
+	parentEdge := make([]int, g.N)
+	discovered := make([]bool, g.N)
+	justJoined := make([]bool, g.N)
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	discovered[root] = true
+	justJoined[root] = true
+
+	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
+		if !discovered[v] {
+			// First explore wins; inbox is sorted by sender id.
+			if len(inbox) == 0 {
+				return nil, false
+			}
+			discovered[v] = true
+			parentEdge[v] = inbox[0].EdgeID
+			justJoined[v] = true
+			return nil, true
+		}
+		if justJoined[v] {
+			justJoined[v] = false
+			out := make([]congest.Msg, 0, g.Degree(v))
+			for _, id := range g.Incident(v) {
+				if id == parentEdge[v] {
+					continue
+				}
+				out = append(out, congest.Msg{EdgeID: id, From: v, Data: []congest.Word{1}})
+			}
+			return out, false
+		}
+		return nil, false
+	}
+	if err := net.Run(handler, []int{root}, maxRoundsFor(g, 0)); err != nil {
+		return nil, err
+	}
+	return tree.NewFromParentEdges(g, root, parentEdge)
+}
+
+// Item is a fixed-arity tuple of words moved by the pipelined primitives.
+// One Item fits one CONGEST message (a constant number of O(log n)-bit
+// fields).
+type Item []congest.Word
+
+// treeLocal is the node-local view of a rooted tree that every primitive
+// uses: parent edge and child edges. Deriving it from a *tree.Rooted is
+// node-local bookkeeping (each vertex knows its incident tree edges after
+// tree construction).
+type treeLocal struct {
+	parentEdge []int   // -1 at root
+	childEdges [][]int // edge ids to children
+	root       int
+}
+
+func localView(t *tree.Rooted) *treeLocal {
+	n := t.G.N
+	tl := &treeLocal{parentEdge: make([]int, n), childEdges: make([][]int, n), root: t.Root}
+	for v := 0; v < n; v++ {
+		tl.parentEdge[v] = t.ParentEdge[v]
+		kids := t.Children[v]
+		tl.childEdges[v] = make([]int, len(kids))
+		for i, c := range kids {
+			tl.childEdges[v][i] = t.ParentEdge[c]
+		}
+	}
+	return tl
+}
+
+// Gather moves every node's items to the root via a pipelined convergecast
+// without combining: one item per edge per round flows upward. It returns
+// the items received at the root (root's own items included), in arrival
+// order. Rounds: O(height + total items).
+func Gather(net *congest.Network, t *tree.Rooted, perNode [][]Item) ([]Item, error) {
+	g := net.G
+	if len(perNode) != g.N {
+		return nil, fmt.Errorf("primitives: perNode length %d != n", len(perNode))
+	}
+	tl := localView(t)
+	queue := make([][]Item, g.N)
+	for v := 0; v < g.N; v++ {
+		queue[v] = append(queue[v], perNode[v]...)
+	}
+	var collected []Item
+	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
+		for _, m := range inbox {
+			queue[v] = append(queue[v], Item(m.Data))
+		}
+		if v == tl.root {
+			collected = append(collected, queue[v]...)
+			queue[v] = queue[v][:0]
+			return nil, false
+		}
+		if len(queue[v]) == 0 {
+			return nil, false
+		}
+		it := queue[v][0]
+		queue[v] = queue[v][1:]
+		msg := congest.Msg{EdgeID: tl.parentEdge[v], From: v, Data: it}
+		return []congest.Msg{msg}, len(queue[v]) > 0
+	}
+	total := 0
+	for _, its := range perNode {
+		total += len(its)
+	}
+	if err := net.Run(handler, nil, maxRoundsFor(g, total)); err != nil {
+		return nil, err
+	}
+	return collected, nil
+}
+
+// Broadcast delivers the given items from the root to every vertex via a
+// pipelined downcast. Every vertex ends up with all items in the same
+// order. Rounds: O(height + len(items)).
+func Broadcast(net *congest.Network, t *tree.Rooted, items []Item) ([][]Item, error) {
+	g := net.G
+	tl := localView(t)
+	received := make([][]Item, g.N)
+	// pending[v] holds items yet to be forwarded to children.
+	pending := make([][]Item, g.N)
+	received[t.Root] = append(received[t.Root], items...)
+	pending[t.Root] = append(pending[t.Root], items...)
+
+	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
+		for _, m := range inbox {
+			it := Item(m.Data)
+			received[v] = append(received[v], it)
+			pending[v] = append(pending[v], it)
+		}
+		if len(pending[v]) == 0 || len(tl.childEdges[v]) == 0 {
+			pending[v] = pending[v][:0]
+			return nil, false
+		}
+		it := pending[v][0]
+		pending[v] = pending[v][1:]
+		out := make([]congest.Msg, 0, len(tl.childEdges[v]))
+		for _, id := range tl.childEdges[v] {
+			out = append(out, congest.Msg{EdgeID: id, From: v, Data: it})
+		}
+		return out, len(pending[v]) > 0
+	}
+	if err := net.Run(handler, []int{t.Root}, maxRoundsFor(g, len(items)*2)); err != nil {
+		return nil, err
+	}
+	return received, nil
+}
+
+// GatherBroadcast gathers all items to the root and then broadcasts them so
+// that every vertex knows every item (the "all vertices learn X" pattern
+// used throughout Section 4). Rounds: O(height + total items).
+func GatherBroadcast(net *congest.Network, t *tree.Rooted, perNode [][]Item) ([][]Item, error) {
+	collected, err := Gather(net, t, perNode)
+	if err != nil {
+		return nil, err
+	}
+	return Broadcast(net, t, collected)
+}
+
+// Combine is a binary aggregate operator on words (sum, min, max, xor, ...).
+type Combine func(a, b congest.Word) congest.Word
+
+// SubtreeAggregate computes, for every vertex v, the aggregate of x over the
+// subtree of v (descendants' aggregate on the given tree). Internal nodes
+// wait for all children before reporting upward. Rounds: O(height).
+func SubtreeAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, op Combine) ([]congest.Word, error) {
+	g := net.G
+	if len(x) != g.N {
+		return nil, fmt.Errorf("primitives: input length %d != n", len(x))
+	}
+	tl := localView(t)
+	acc := append([]congest.Word(nil), x...)
+	needed := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		needed[v] = len(tl.childEdges[v])
+	}
+	reported := make([]bool, g.N)
+
+	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
+		for _, m := range inbox {
+			acc[v] = op(acc[v], m.Data[0])
+			needed[v]--
+		}
+		if needed[v] == 0 && !reported[v] {
+			reported[v] = true
+			if tl.parentEdge[v] >= 0 {
+				msg := congest.Msg{EdgeID: tl.parentEdge[v], From: v, Data: []congest.Word{acc[v]}}
+				return []congest.Msg{msg}, false
+			}
+		}
+		return nil, false
+	}
+	if err := net.Run(handler, nil, maxRoundsFor(g, 0)); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// RootPathAggregate computes, for every vertex v, the aggregate of x over
+// all ancestors of v including v itself (ancestors' aggregate on the given
+// tree), by an accumulate-and-forward downcast. Rounds: O(height).
+func RootPathAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, op Combine) ([]congest.Word, error) {
+	g := net.G
+	if len(x) != g.N {
+		return nil, fmt.Errorf("primitives: input length %d != n", len(x))
+	}
+	tl := localView(t)
+	acc := append([]congest.Word(nil), x...)
+	sent := make([]bool, g.N)
+	have := make([]bool, g.N)
+	have[t.Root] = true
+
+	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
+		for _, m := range inbox {
+			acc[v] = op(m.Data[0], acc[v])
+			have[v] = true
+		}
+		if have[v] && !sent[v] {
+			sent[v] = true
+			out := make([]congest.Msg, 0, len(tl.childEdges[v]))
+			for _, id := range tl.childEdges[v] {
+				out = append(out, congest.Msg{EdgeID: id, From: v, Data: []congest.Word{acc[v]}})
+			}
+			return out, false
+		}
+		return nil, false
+	}
+	if err := net.Run(handler, []int{t.Root}, maxRoundsFor(g, 0)); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// GlobalAggregate combines one word per vertex into a single value known to
+// all vertices (convergecast to the root followed by a broadcast). Used for
+// global termination tests such as "is any tree edge of layer k still
+// uncovered". Rounds: O(height).
+func GlobalAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, op Combine) (congest.Word, error) {
+	up, err := SubtreeAggregate(net, t, x, op)
+	if err != nil {
+		return 0, err
+	}
+	total := up[t.Root]
+	if _, err := Broadcast(net, t, []Item{{total}}); err != nil {
+		return 0, err
+	}
+	return total, nil
+}

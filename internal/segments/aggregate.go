@@ -1,0 +1,161 @@
+package segments
+
+import (
+	"fmt"
+
+	"twoecss/internal/congest"
+	"twoecss/internal/primitives"
+	"twoecss/internal/tree"
+	"twoecss/internal/vgraph"
+)
+
+// Aggregator implements the two aggregate-function building blocks of
+// Section 4.2 on top of a segment decomposition:
+//
+//   - PerVEdge (Claim 4.5): every virtual non-tree edge simultaneously
+//     learns an aggregate of values held by the tree edges it covers.
+//   - PerTreeEdge (Claim 4.6): every tree edge simultaneously learns an
+//     aggregate of values held by the virtual edges that cover it
+//     (combining short-, mid- and long-range contributions).
+//
+// Both run in O(D + sqrt n) rounds. The global movements (per-segment
+// summaries and per-highway long-range combination, Claim 4.4) are simulated
+// at message level on the BFS tree; the intra-segment scans are billed
+// analytically as 3 x MaxDiameter rounds per call.
+type Aggregator struct {
+	Net *congest.Network
+	// BFS is the communication tree over the network graph (height O(D)).
+	BFS *tree.Rooted
+	// D is the decomposition of the spanning tree being augmented.
+	D *Decomposition
+	// VG is the virtual graph whose edges participate in aggregation.
+	VG *vgraph.VGraph
+
+	coveredBy [][]int // per virtual edge: covered tree-edge children
+	covering  [][]int // per tree-edge child: covering virtual edges
+	vedgeSegs [][]int // per virtual edge: distinct segments its path touches
+}
+
+// NewAggregator precomputes the cover structure. The precomputation mirrors
+// the node-local knowledge establishd by Claims 4.3/4.4 (each vertex knows
+// its segment paths and the skeleton); its round bill is part of the
+// decomposition construction charge.
+func NewAggregator(net *congest.Network, bfs *tree.Rooted, d *Decomposition, vg *vgraph.VGraph) *Aggregator {
+	a := &Aggregator{Net: net, BFS: bfs, D: d, VG: vg}
+	nv := len(vg.VEdges)
+	a.coveredBy = make([][]int, nv)
+	a.covering = make([][]int, vg.T.G.N)
+	a.vedgeSegs = make([][]int, nv)
+	for ve := 0; ve < nv; ve++ {
+		path := vg.CoveredTreeEdges(ve)
+		a.coveredBy[ve] = path
+		segSeen := map[int]bool{}
+		for _, c := range path {
+			a.covering[c] = append(a.covering[c], ve)
+			sid := d.SegOfEdge[c]
+			if !segSeen[sid] {
+				segSeen[sid] = true
+				a.vedgeSegs[ve] = append(a.vedgeSegs[ve], sid)
+			}
+		}
+	}
+	return a
+}
+
+// CoveredBy returns the tree-edge children covered by virtual edge ve.
+func (a *Aggregator) CoveredBy(ve int) []int { return a.coveredBy[ve] }
+
+// Covering returns the virtual edges covering tree edge child c.
+func (a *Aggregator) Covering(c int) []int { return a.covering[c] }
+
+// chargeIntraSegment bills the local scans of one aggregate call.
+func (a *Aggregator) chargeIntraSegment(what string) error {
+	return a.Net.Charge(int64(3*a.D.MaxDiameter+3), what)
+}
+
+// PerVEdge implements Claim 4.5: result[ve] = fold(op, id, value(c) for all
+// covered tree-edge children c). op must be commutative and associative.
+func (a *Aggregator) PerVEdge(value func(c int) congest.Word, op primitives.Combine, id congest.Word) ([]congest.Word, error) {
+	if err := a.chargeIntraSegment("Claim 4.5 intra-segment scans"); err != nil {
+		return nil, err
+	}
+	// Claim 4.4 global step: every vertex learns the per-segment highway
+	// aggregate m_S; simulated as a gather-broadcast of one item per
+	// segment, originated at the segment descendant.
+	perNode := make([][]primitives.Item, a.BFS.G.N)
+	for _, seg := range a.D.Segs {
+		m := id
+		for i := 1; i < len(seg.Highway); i++ {
+			m = op(m, value(seg.Highway[i]))
+		}
+		perNode[seg.Desc] = append(perNode[seg.Desc], primitives.Item{congest.Word(seg.ID), m})
+	}
+	if _, err := primitives.GatherBroadcast(a.Net, a.BFS, perNode); err != nil {
+		return nil, fmt.Errorf("segments: claim 4.5 global step: %w", err)
+	}
+	out := make([]congest.Word, len(a.VG.VEdges))
+	for ve := range out {
+		acc := id
+		for _, c := range a.coveredBy[ve] {
+			acc = op(acc, value(c))
+		}
+		out[ve] = acc
+	}
+	return out, nil
+}
+
+// PerTreeEdge implements Claim 4.6: result[c] = fold(op, id, w(ve) for all
+// virtual edges ve covering tree edge c with contribute(ve) = (w(ve), true)).
+// Virtual edges with contribute(...) = (_, false) do not participate.
+func (a *Aggregator) PerTreeEdge(contribute func(ve int) (congest.Word, bool), op primitives.Combine, id congest.Word) ([]congest.Word, error) {
+	if err := a.chargeIntraSegment("Claim 4.6 intra-segment scans"); err != nil {
+		return nil, err
+	}
+	// Global step: mid/long-range contributions are combined per segment
+	// over the BFS tree (Section 4.2.3); simulated as an ordered keyed
+	// convergecast followed by a broadcast of the per-segment table.
+	perNode := make([]map[congest.Word]congest.Word, a.BFS.G.N)
+	for v := range perNode {
+		perNode[v] = map[congest.Word]congest.Word{}
+	}
+	for ve := range a.VG.VEdges {
+		w, ok := contribute(ve)
+		if !ok {
+			continue
+		}
+		dec := a.VG.VEdges[ve].Dec // simulating vertex
+		for _, sid := range a.vedgeSegs[ve] {
+			k := congest.Word(sid)
+			if cur, exists := perNode[dec][k]; exists {
+				perNode[dec][k] = op(cur, w)
+			} else {
+				perNode[dec][k] = w
+			}
+		}
+	}
+	table, err := primitives.KeyedSumOrdered(a.Net, a.BFS, perNode, op)
+	if err != nil {
+		return nil, fmt.Errorf("segments: claim 4.6 convergecast: %w", err)
+	}
+	items := make([]primitives.Item, 0, len(table))
+	for _, seg := range a.D.Segs {
+		if val, ok := table[congest.Word(seg.ID)]; ok {
+			items = append(items, primitives.Item{congest.Word(seg.ID), val})
+		}
+	}
+	if _, err := primitives.Broadcast(a.Net, a.BFS, items); err != nil {
+		return nil, fmt.Errorf("segments: claim 4.6 broadcast: %w", err)
+	}
+
+	out := make([]congest.Word, a.VG.T.G.N)
+	for c := range out {
+		acc := id
+		for _, ve := range a.covering[c] {
+			if w, ok := contribute(ve); ok {
+				acc = op(acc, w)
+			}
+		}
+		out[c] = acc
+	}
+	return out, nil
+}

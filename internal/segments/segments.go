@@ -1,0 +1,344 @@
+// Package segments implements the decomposition of the spanning tree into
+// O(sqrt n) edge-disjoint segments of diameter O(sqrt n) used by the paper
+// (Section 4.2.1, following Ghaffari–Parter and Dory): each segment S has a
+// root r_S that is an ancestor of all its vertices, a unique descendant d_S,
+// and a highway (the r_S–d_S path); r_S and d_S are the only vertices shared
+// with other segments; the skeleton tree on segment endpoints captures the
+// global structure.
+//
+// On top of the decomposition the package provides the aggregate-function
+// machinery of Claims 4.5 and 4.6: every virtual non-tree edge can learn an
+// aggregate of the tree edges it covers, and every tree edge an aggregate of
+// the virtual edges covering it, in O(D + sqrt n) rounds. The global data
+// movements (per-segment summaries over a BFS tree, Claim 4.4) are simulated
+// at message level; the intra-segment scans are billed analytically at
+// 3 x (maximum segment diameter) per call, with the diameter measured from
+// the actual decomposition (see DESIGN.md, fidelity table).
+package segments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"twoecss/internal/tree"
+)
+
+// Segment is one piece of the decomposition.
+type Segment struct {
+	ID int
+	// Root (r_S) is an ancestor of every vertex in the segment.
+	Root int
+	// Desc (d_S) is the unique descendant: the bottom endpoint of the
+	// highway. Only Root and Desc may appear in other segments.
+	Desc int
+	// Highway is the tree path from Root down to Desc (both inclusive).
+	Highway []int
+	// Members are all vertices of the segment (Root and Desc included).
+	Members []int
+}
+
+// Decomposition is the full segment decomposition of a rooted tree.
+type Decomposition struct {
+	T    *tree.Rooted
+	S    int // size parameter, ceil(sqrt n)
+	Segs []Segment
+	// SegOfEdge[v] is the segment owning tree edge {v,parent(v)} (entry of
+	// the tree root is -1). Edges are partitioned among segments.
+	SegOfEdge []int
+	// HomeSeg[v] is the segment owning v's parent edge; for the tree root
+	// it is the first segment rooted at it.
+	HomeSeg []int
+	// IsHighwayEdge[v] reports whether tree edge v lies on its segment's
+	// highway.
+	IsHighwayEdge []bool
+	// SkeletonParent[s] is the parent segment in the skeleton tree (-1 for
+	// segments rooted at the tree root).
+	SkeletonParent []int
+	// MaxDiameter is the maximum over segments of the intra-segment tree
+	// distance bound actually realized (hop diameter of the segment's
+	// tree), used for analytic round bills.
+	MaxDiameter int
+}
+
+// Build computes the decomposition: heavy vertices (subtree size >= s) form
+// a connected top tree; maximal heavy chains between branching/leaf "break"
+// vertices are chopped into highway pieces of at most s edges; every light
+// subtree attaches to the segment of its heavy parent.
+func Build(t *tree.Rooted) (*Decomposition, error) {
+	n := t.G.N
+	if n == 0 {
+		return nil, fmt.Errorf("segments: empty tree")
+	}
+	s := int(math.Ceil(math.Sqrt(float64(n))))
+	d := &Decomposition{
+		T: t, S: s,
+		SegOfEdge:     make([]int, n),
+		HomeSeg:       make([]int, n),
+		IsHighwayEdge: make([]bool, n),
+	}
+	for v := range d.SegOfEdge {
+		d.SegOfEdge[v] = -1
+		d.HomeSeg[v] = -1
+	}
+	if n == 1 {
+		d.Segs = []Segment{{ID: 0, Root: t.Root, Desc: t.Root, Highway: []int{t.Root}, Members: []int{t.Root}}}
+		d.SkeletonParent = []int{-1}
+		d.HomeSeg[t.Root] = 0
+		return d, nil
+	}
+
+	heavy := make([]bool, n)
+	for v := 0; v < n; v++ {
+		heavy[v] = t.Size[v] >= s
+	}
+	// Break vertices: the root, heavy vertices with != 1 heavy child.
+	isBreak := make([]bool, n)
+	heavyKids := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if !heavy[v] {
+			continue
+		}
+		for _, c := range t.Children[v] {
+			if heavy[c] {
+				heavyKids[v] = append(heavyKids[v], c)
+			}
+		}
+		if v == t.Root || len(heavyKids[v]) != 1 {
+			isBreak[v] = true
+		}
+	}
+
+	// Maximal heavy chains: from each non-root break vertex b climb to the
+	// first break vertex above. Chains are vertex-disjoint except at their
+	// endpoints; chop each into pieces of at most s edges, top down.
+	addPiece := func(path []int) int {
+		// path is listed top (Root) first.
+		id := len(d.Segs)
+		d.Segs = append(d.Segs, Segment{
+			ID:      id,
+			Root:    path[0],
+			Desc:    path[len(path)-1],
+			Highway: append([]int(nil), path...),
+		})
+		for i := 1; i < len(path); i++ {
+			d.SegOfEdge[path[i]] = id
+			d.IsHighwayEdge[path[i]] = true
+		}
+		return id
+	}
+	for b := 0; b < n; b++ {
+		if !isBreak[b] || b == t.Root {
+			continue
+		}
+		chain := []int{b}
+		for v := t.Parent[b]; ; v = t.Parent[v] {
+			chain = append(chain, v)
+			if isBreak[v] {
+				break
+			}
+		}
+		// chain is bottom-up; reverse to top-down.
+		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+			chain[i], chain[j] = chain[j], chain[i]
+		}
+		for lo := 0; lo < len(chain)-1; lo += s {
+			hi := lo + s
+			if hi > len(chain)-1 {
+				hi = len(chain) - 1
+			}
+			addPiece(chain[lo : hi+1])
+		}
+	}
+	if len(d.Segs) == 0 {
+		// No non-root break vertices: the heavy tree is only the root
+		// (every child subtree is light). Use a trivial piece at the root.
+		addPiece([]int{t.Root})
+	}
+
+	// Attachment segment for light subtrees hanging off heavy vertex p:
+	// prefer the piece owning p's parent edge (p = interior or Desc);
+	// for the tree root use the first piece rooted at it.
+	pieceAbove := func(p int) int {
+		if p != t.Root && d.SegOfEdge[p] >= 0 && d.IsHighwayEdge[p] {
+			return d.SegOfEdge[p]
+		}
+		for _, seg := range d.Segs {
+			if seg.Root == p {
+				return seg.ID
+			}
+		}
+		return -1
+	}
+	// Assign light subtrees by preorder sweep: the first light vertex on a
+	// root path fixes the segment for its whole subtree.
+	for _, v := range t.Order {
+		if v == t.Root {
+			continue
+		}
+		if d.SegOfEdge[v] >= 0 {
+			continue // highway edge, already owned
+		}
+		p := t.Parent[v]
+		if heavy[p] && !heavy[v] {
+			sid := pieceAbove(p)
+			if sid < 0 {
+				return nil, fmt.Errorf("segments: no attachment piece for light subtree at %d", v)
+			}
+			d.SegOfEdge[v] = sid
+		} else {
+			// Interior of a light subtree: inherit.
+			d.SegOfEdge[v] = d.SegOfEdge[p]
+		}
+		if d.SegOfEdge[v] < 0 {
+			return nil, fmt.Errorf("segments: edge %d unassigned", v)
+		}
+	}
+
+	// Members, home segments, skeleton.
+	memberSet := make([]map[int]bool, len(d.Segs))
+	for i := range memberSet {
+		memberSet[i] = map[int]bool{}
+		for _, h := range d.Segs[i].Highway {
+			memberSet[i][h] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v == t.Root {
+			d.HomeSeg[v] = pieceAbove(t.Root)
+			continue
+		}
+		sid := d.SegOfEdge[v]
+		d.HomeSeg[v] = sid
+		memberSet[sid][v] = true
+		memberSet[sid][t.Parent[v]] = true
+	}
+	for i := range d.Segs {
+		ms := make([]int, 0, len(memberSet[i]))
+		for v := range memberSet[i] {
+			ms = append(ms, v)
+		}
+		sort.Ints(ms)
+		d.Segs[i].Members = ms
+	}
+	d.SkeletonParent = make([]int, len(d.Segs))
+	for i := range d.Segs {
+		r := d.Segs[i].Root
+		if r == t.Root {
+			d.SkeletonParent[i] = -1
+		} else {
+			d.SkeletonParent[i] = d.SegOfEdge[r] // r's parent edge is heavy
+		}
+	}
+	d.MaxDiameter = d.computeMaxDiameter()
+	return d, nil
+}
+
+// computeMaxDiameter measures the realized hop diameter of each segment's
+// tree (highway length plus twice the deepest light subtree).
+func (d *Decomposition) computeMaxDiameter() int {
+	t := d.T
+	// depthBelowHighway[v]: for vertices in light subtrees, depth below the
+	// highway attachment point.
+	maxDiam := 0
+	deepest := make(map[int]int, len(d.Segs)) // seg -> deepest light depth
+	depth := make([]int, t.G.N)
+	for _, v := range t.Order {
+		if v == t.Root {
+			continue
+		}
+		sid := d.SegOfEdge[v]
+		if d.IsHighwayEdge[v] {
+			depth[v] = 0
+			continue
+		}
+		p := t.Parent[v]
+		if d.IsHighwayEdge[p] || p == d.Segs[sid].Root || anyHighway(d, sid, p) {
+			depth[v] = 1
+		} else {
+			depth[v] = depth[p] + 1
+		}
+		if depth[v] > deepest[sid] {
+			deepest[sid] = depth[v]
+		}
+	}
+	for i := range d.Segs {
+		diam := len(d.Segs[i].Highway) - 1 + 2*deepest[i]
+		if diam > maxDiam {
+			maxDiam = diam
+		}
+	}
+	return maxDiam
+}
+
+func anyHighway(d *Decomposition, sid, v int) bool {
+	for _, h := range d.Segs[sid].Highway {
+		if h == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the structural guarantees of Section 4.2.1: edges are
+// partitioned, each segment's root is an ancestor of all members, only
+// Root/Desc are shared across segments, the segment count is O(sqrt n) and
+// every segment diameter is O(sqrt n).
+func (d *Decomposition) Validate() error {
+	t := d.T
+	n := t.G.N
+	if n <= 1 {
+		return nil
+	}
+	owned := 0
+	for v := 0; v < n; v++ {
+		if v == t.Root {
+			continue
+		}
+		sid := d.SegOfEdge[v]
+		if sid < 0 || sid >= len(d.Segs) {
+			return fmt.Errorf("segments: edge %d unowned", v)
+		}
+		owned++
+	}
+	if owned != n-1 {
+		return fmt.Errorf("segments: %d edges owned, want %d", owned, n-1)
+	}
+	// Count segment occurrences of each vertex.
+	occ := make(map[int][]int, n)
+	for _, seg := range d.Segs {
+		for _, v := range seg.Members {
+			occ[v] = append(occ[v], seg.ID)
+		}
+	}
+	for v, segs := range occ {
+		if len(segs) <= 1 {
+			continue
+		}
+		for _, sid := range segs {
+			if d.Segs[sid].Root != v && d.Segs[sid].Desc != v {
+				return fmt.Errorf("segments: vertex %d shared by segment %d but is neither its root nor desc", v, sid)
+			}
+		}
+	}
+	for _, seg := range d.Segs {
+		for _, v := range seg.Members {
+			if !t.IsAncestor(seg.Root, v) {
+				return fmt.Errorf("segments: root %d of segment %d not ancestor of member %d", seg.Root, seg.ID, v)
+			}
+		}
+		if !t.IsAncestor(seg.Root, seg.Desc) {
+			return fmt.Errorf("segments: desc %d not descendant of root %d", seg.Desc, seg.Root)
+		}
+		if len(seg.Highway)-1 > d.S {
+			return fmt.Errorf("segments: highway of %d has %d edges > s=%d", seg.ID, len(seg.Highway)-1, d.S)
+		}
+	}
+	if len(d.Segs) > 5*d.S+5 {
+		return fmt.Errorf("segments: %d segments exceeds O(sqrt n) bound (s=%d)", len(d.Segs), d.S)
+	}
+	if d.MaxDiameter > 3*d.S+3 {
+		return fmt.Errorf("segments: max diameter %d exceeds 3s+3 (s=%d)", d.MaxDiameter, d.S)
+	}
+	return nil
+}

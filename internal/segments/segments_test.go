@@ -1,0 +1,263 @@
+package segments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twoecss/internal/congest"
+	"twoecss/internal/graph"
+	"twoecss/internal/primitives"
+	"twoecss/internal/tree"
+	"twoecss/internal/vgraph"
+)
+
+func randRooted(rng *rand.Rand, n, extra int) (*graph.Graph, *tree.Rooted) {
+	cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 30, Rng: rng}
+	g := graph.RandomSpanningTreePlus(n, extra, cfg)
+	rt, err := tree.BFSTree(g, rng.Intn(n))
+	if err != nil {
+		panic(err)
+	}
+	return g, rt
+}
+
+func TestBuildValidateFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", pathGraph(100)},
+		{"star", starGraph(100)},
+		{"grid", graph.Grid(10, 13, graph.DefaultGenConfig(3))},
+		{"caterpillar", graph.Caterpillar(20, 4, graph.DefaultGenConfig(4))},
+		{"binarytree", graph.TreeLeafCycle(6, graph.DefaultGenConfig(5))},
+		{"tiny", pathGraph(2)},
+		{"single", graph.New(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, err := tree.BFSTree(tc.g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := Build(rt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	_ = rng
+}
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v-1, v, 1)
+	}
+	return g
+}
+
+func starGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v, 1)
+	}
+	return g
+}
+
+func TestBuildValidateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		_, rt := randRooted(rng, maxInt(n, 1), 0)
+		d, err := Build(rt)
+		if err != nil {
+			t.Fatalf("trial %d n=%d: %v", trial, n, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d n=%d: %v", trial, n, err)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSegmentCountScaling(t *testing.T) {
+	// On a path of n vertices the decomposition must produce Theta(sqrt n)
+	// segments.
+	for _, n := range []int{64, 256, 1024} {
+		rt, err := tree.BFSTree(pathGraph(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Build(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := int(math.Ceil(math.Sqrt(float64(n))))
+		if len(d.Segs) < s/2 || len(d.Segs) > 2*s+2 {
+			t.Fatalf("n=%d: %d segments, want about %d", n, len(d.Segs), s)
+		}
+	}
+}
+
+func TestSkeletonParentAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, rt := randRooted(rng, 200, 0)
+	d, err := Build(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Segs {
+		steps := 0
+		for p := d.SkeletonParent[i]; p >= 0; p = d.SkeletonParent[p] {
+			steps++
+			if steps > len(d.Segs) {
+				t.Fatalf("skeleton parent cycle at segment %d", i)
+			}
+		}
+	}
+	// Parent's Desc must equal child's Root.
+	for i := range d.Segs {
+		p := d.SkeletonParent[i]
+		if p < 0 {
+			continue
+		}
+		if d.Segs[p].Desc != d.Segs[i].Root && !contains(d.Segs[p].Highway, d.Segs[i].Root) {
+			t.Fatalf("segment %d root %d not on parent %d highway", i, d.Segs[i].Root, p)
+		}
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func buildAggregator(t *testing.T, seed int64, n, extra int) (*Aggregator, *vgraph.VGraph, *tree.Rooted) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, rt := randRooted(rng, n, extra)
+	vg, err := vgraph.BuildFromGraph(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Build(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	net := congest.NewNetwork(g)
+	bfs, err := primitives.BuildBFS(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAggregator(net, bfs, d, vg), vg, rt
+}
+
+func TestPerVEdgeSum(t *testing.T) {
+	a, vg, rt := buildAggregator(t, 11, 80, 100)
+	value := func(c int) congest.Word { return congest.Word(2*c + 1) }
+	sum := func(x, y congest.Word) congest.Word { return x + y }
+	got, err := a.PerVEdge(value, sum, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ve := range vg.VEdges {
+		var want congest.Word
+		for c := 0; c < rt.G.N; c++ {
+			if c != rt.Root && vg.Covers(ve, c) {
+				want += value(c)
+			}
+		}
+		if got[ve] != want {
+			t.Fatalf("PerVEdge[%d] = %d, want %d", ve, got[ve], want)
+		}
+	}
+	if a.Net.Stats().ChargedRounds == 0 || a.Net.Stats().SimulatedRounds == 0 {
+		t.Fatal("aggregate call must bill both charged and simulated rounds")
+	}
+}
+
+func TestPerTreeEdgeMin(t *testing.T) {
+	a, vg, rt := buildAggregator(t, 12, 70, 90)
+	const inf = int64(1) << 60
+	contribute := func(ve int) (congest.Word, bool) {
+		if ve%3 == 0 {
+			return 0, false // a third of the edges sit out
+		}
+		return congest.Word(vg.VEdges[ve].W), true
+	}
+	min := func(x, y congest.Word) congest.Word {
+		if x < y {
+			return x
+		}
+		return y
+	}
+	got, err := a.PerTreeEdge(contribute, min, inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < rt.G.N; c++ {
+		if c == rt.Root {
+			continue
+		}
+		want := congest.Word(inf)
+		for ve := range vg.VEdges {
+			if w, ok := contribute(ve); ok && vg.Covers(ve, c) && w < want {
+				want = w
+			}
+		}
+		if got[c] != want {
+			t.Fatalf("PerTreeEdge[%d] = %d, want %d", c, got[c], want)
+		}
+	}
+}
+
+func TestAggregatorIndexesMatchVGraph(t *testing.T) {
+	a, vg, rt := buildAggregator(t, 13, 50, 60)
+	idx := vg.CoverIndex()
+	for c := 0; c < rt.G.N; c++ {
+		if len(a.Covering(c)) != len(idx[c]) {
+			t.Fatalf("covering(%d): %d vs %d", c, len(a.Covering(c)), len(idx[c]))
+		}
+	}
+	for ve := range vg.VEdges {
+		if len(a.CoveredBy(ve)) == 0 {
+			t.Fatalf("vedge %d covers nothing", ve)
+		}
+	}
+}
+
+func TestDecompositionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(120)
+		_, rt := randRooted(rng, n, 0)
+		d, err := Build(rt)
+		if err != nil {
+			return false
+		}
+		return d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

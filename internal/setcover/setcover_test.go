@@ -1,0 +1,145 @@
+package setcover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twoecss/internal/baseline"
+	"twoecss/internal/congest"
+	"twoecss/internal/graph"
+	"twoecss/internal/mst"
+	"twoecss/internal/primitives"
+	"twoecss/internal/shortcuts"
+	"twoecss/internal/tree"
+	"twoecss/internal/vgraph"
+)
+
+func fixture(t *testing.T, g *graph.Graph, seed int64) (*Solver, *tree.Rooted) {
+	t.Helper()
+	net := congest.NewNetwork(g)
+	bfs, err := primitives.BuildBFS(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := mst.KruskalTree(g, 0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(net, bfs, rt, &shortcuts.SteinerBuilder{G: g, BFS: bfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rt
+}
+
+func assertCovers(t *testing.T, rt *tree.Rooted, picks []int) {
+	t.Helper()
+	vg, err := vgraph.BuildFromGraph(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[int]bool{}
+	for _, id := range picks {
+		for _, ve := range vg.VirtualOf(id) {
+			in[ve] = true
+		}
+	}
+	if !vg.FullyCovers(func(ve int) bool { return in[ve] }) {
+		t.Fatal("setcover augmentation does not cover the tree")
+	}
+}
+
+func TestSolveCoversFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfgs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring", graph.RingWithChords(40, 15, graph.DefaultGenConfig(2))},
+		{"grid", graph.Grid(6, 6, graph.DefaultGenConfig(3))},
+		{"treeleafcycle", graph.TreeLeafCycle(5, graph.DefaultGenConfig(4))},
+	}
+	for _, tc := range cfgs {
+		t.Run(tc.name, func(t *testing.T) {
+			s, rt := fixture(t, tc.g, 1)
+			res, err := s.Solve(DefaultOptions(tc.g.N, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertCovers(t, rt, res.Edges)
+			if res.Weight <= 0 || res.Phases == 0 {
+				t.Fatalf("degenerate result %+v", res)
+			}
+			if s.Net.Stats().SimulatedRounds == 0 {
+				t.Fatal("no simulated rounds")
+			}
+		})
+	}
+}
+
+func TestLogNApproximation(t *testing.T) {
+	// Against the exact optimum on small instances, the ratio must stay
+	// within an O(log n) envelope (constant 4*ln(n) is generous).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 60, Rng: rng}
+		g := graph.RandomSpanningTreePlus(8+rng.Intn(8), 4+rng.Intn(4), cfg)
+		if _, err := graph.Ensure2EC(g, cfg); err != nil {
+			t.Fatal(err)
+		}
+		s, rt := fixture(t, g, int64(trial))
+		if len(rt.NonTreeEdgeIDs()) > 15 {
+			continue
+		}
+		res, err := s.Solve(DefaultOptions(g.N, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertCovers(t, rt, res.Edges)
+		opt, _, err := baseline.BruteForceTAP(rt, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envelope := 4 * math.Log(float64(g.N)+2) * float64(opt)
+		if float64(res.Weight) > envelope {
+			t.Fatalf("trial %d: weight %d beyond O(log n) envelope %.1f (opt %d)",
+				trial, res.Weight, envelope, opt)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := graph.RingWithChords(12, 3, graph.DefaultGenConfig(5))
+	s, _ := fixture(t, g, 2)
+	if _, err := s.Solve(Options{Eps: 0.2, Reps: 4, GoodFraction: 100}); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := s.Solve(Options{Eps: 0, Reps: 4, GoodFraction: 100, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}
+
+func TestInfeasibleDetected(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 0, 1)
+	g.MustAddEdge(2, 3, 1) // bridge
+	s, _ := fixture(t, g, 3)
+	if _, err := s.Solve(DefaultOptions(4, rand.New(rand.NewSource(9)))); err == nil {
+		t.Fatal("bridged graph accepted")
+	}
+}
+
+func TestShortcutQualityRecorded(t *testing.T) {
+	g := graph.TreeLeafCycle(6, graph.DefaultGenConfig(6))
+	s, _ := fixture(t, g, 4)
+	res, err := s.Solve(DefaultOptions(g.N, rand.New(rand.NewSource(10))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxShortcutQuality <= 0 {
+		t.Fatal("shortcut quality not recorded")
+	}
+}

@@ -1,0 +1,217 @@
+package shortcuts
+
+import (
+	"fmt"
+
+	"twoecss/internal/congest"
+)
+
+// PartwiseAggregate combines one value per member vertex within every part
+// (over G[V_p]+H_p) and delivers the result to all members, simultaneously
+// for all parts. The simulation is contention-faithful: every graph edge
+// carries at most one message per direction per round regardless of how
+// many parts route through it, so the measured rounds reflect the realized
+// alpha-congestion beta-dilation of the shortcut.
+func PartwiseAggregate(net *congest.Network, part *Partition, sc *Shortcut, x []Word, op Combine) ([]Word, error) {
+	g := net.G
+	if len(x) != g.N {
+		return nil, fmt.Errorf("shortcuts: input length %d != n", len(x))
+	}
+	// Per-part BFS trees over the part subgraphs, rooted at the leader.
+	type role struct {
+		part       int
+		parentEdge int // -1 at the leader
+		children   int
+	}
+	rolesAt := make([][]int, g.N) // vertex -> indices into roles
+	var roles []role
+	roleIdx := map[[2]int]int{} // (part, vertex) -> role index
+
+	for p := 0; p < part.Parts; p++ {
+		adj, members := partSubgraph(g, part, sc.EdgesOf[p], p)
+		if len(members) == 0 {
+			continue
+		}
+		leader := members[0]
+		parentEdge := map[int]int{leader: -1}
+		order := []int{leader}
+		for qi := 0; qi < len(order); qi++ {
+			v := order[qi]
+			for _, id := range adj[v] {
+				u := g.Edges[id].Other(v)
+				if _, ok := parentEdge[u]; !ok {
+					parentEdge[u] = id
+					order = append(order, u)
+				}
+			}
+		}
+		childCount := map[int]int{}
+		for v, pe := range parentEdge {
+			if pe >= 0 {
+				childCount[g.Edges[pe].Other(v)]++
+			}
+		}
+		for _, v := range order {
+			ri := len(roles)
+			roles = append(roles, role{part: p, parentEdge: parentEdge[v], children: childCount[v]})
+			rolesAt[v] = append(rolesAt[v], ri)
+			roleIdx[[2]int{p, v}] = ri
+		}
+	}
+
+	// Node state: accumulated value and remaining children per role; a
+	// FIFO queue per (vertex, incident edge) holding (tag, part, value)
+	// messages; one message per edge direction per round.
+	acc := make([]Word, len(roles))
+	pend := make([]int, len(roles))
+	result := make([]Word, len(roles))
+	haveResult := make([]bool, len(roles))
+	for ri, r := range roles {
+		pend[ri] = r.children
+	}
+	for v := 0; v < g.N; v++ {
+		for _, ri := range rolesAt[v] {
+			if part.Of[v] == roles[ri].part {
+				acc[ri] = x[v]
+			} else {
+				acc[ri] = identityHint // steiner relay: contributes nothing
+			}
+		}
+	}
+	queues := make([]map[int][]congest.Msg, g.N)
+	for v := range queues {
+		queues[v] = map[int][]congest.Msg{}
+	}
+	push := func(v, edge int, data []Word) {
+		queues[v][edge] = append(queues[v][edge], congest.Msg{EdgeID: edge, From: v, Data: data})
+	}
+	const (
+		tagUp   = 0
+		tagDown = 1
+	)
+	started := make([]bool, len(roles))
+
+	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
+		for _, m := range inbox {
+			tag, p, val := m.Data[0], int(m.Data[1]), m.Data[2]
+			ri, ok := roleIdx[[2]int{p, v}]
+			if !ok {
+				continue
+			}
+			switch tag {
+			case tagUp:
+				switch {
+				case val == identityHint:
+					// A pure relay subtree contributed nothing.
+				case acc[ri] == identityHint:
+					acc[ri] = val
+				default:
+					acc[ri] = op(acc[ri], val)
+				}
+				pend[ri]--
+			case tagDown:
+				result[ri] = val
+				haveResult[ri] = true
+				// Forward downward on all child edges (enqueued once).
+			}
+		}
+		// Role transitions.
+		for _, ri := range rolesAt[v] {
+			r := roles[ri]
+			if pend[ri] == 0 && !started[ri] {
+				started[ri] = true
+				if r.parentEdge >= 0 {
+					push(v, r.parentEdge, []Word{tagUp, Word(r.part), acc[ri]})
+				} else {
+					result[ri] = acc[ri]
+					haveResult[ri] = true
+				}
+			}
+		}
+		// Downward forwarding: a role with a fresh result sends it to all
+		// children exactly once (children tracked via pend==<0 sentinel).
+		for _, ri := range rolesAt[v] {
+			if haveResult[ri] && pend[ri] != -1 {
+				pend[ri] = -1
+				p := roles[ri].part
+				// Enqueue to every child edge of this role's tree.
+				for _, id := range g.Incident(v) {
+					u := g.Edges[id].Other(v)
+					if cri, ok := roleIdx[[2]int{p, u}]; ok && roles[cri].parentEdge == id {
+						push(v, id, []Word{tagDown, Word(p), result[ri]})
+					}
+				}
+			}
+		}
+		// Emit one queued message per incident edge.
+		var out []congest.Msg
+		active := false
+		for _, id := range g.Incident(v) {
+			q := queues[v][id]
+			if len(q) == 0 {
+				continue
+			}
+			out = append(out, q[0])
+			queues[v][id] = q[1:]
+			if len(q) > 1 {
+				active = true
+			}
+		}
+		return out, active || len(out) > 0
+	}
+	maxRounds := int64(8*(g.N+g.M()) + 16*len(roles) + 64)
+	if err := net.Run(handler, nil, maxRounds); err != nil {
+		return nil, err
+	}
+	out := make([]Word, g.N)
+	missing := 0
+	for v := 0; v < g.N; v++ {
+		if part.Of[v] < 0 {
+			continue
+		}
+		ri, ok := roleIdx[[2]int{part.Of[v], v}]
+		if !ok || !haveResult[ri] {
+			missing++
+			continue
+		}
+		out[v] = result[ri]
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("shortcuts: %d vertices missed their part aggregate", missing)
+	}
+	return out, nil
+}
+
+// identityHint marks a relay role that holds no contribution of its own;
+// chosen to be an improbable sentinel rather than a true identity because
+// op is opaque. Relays with children replace it on first arrival.
+const identityHint = Word(-0x7edcba9876543210)
+
+// LeaderBroadcast delivers one value per part from the part leader to all
+// members, with the same contention-faithful scheduling; implemented as an
+// aggregate whose operator keeps the leader's value.
+func LeaderBroadcast(net *congest.Network, part *Partition, sc *Shortcut, perPart map[int]Word) ([]Word, error) {
+	g := net.G
+	x := make([]Word, g.N)
+	leaderOf := map[int]int{}
+	for v := 0; v < g.N; v++ {
+		p := part.Of[v]
+		if p < 0 {
+			continue
+		}
+		if lv, ok := leaderOf[p]; !ok || v < lv {
+			leaderOf[p] = v
+		}
+	}
+	// partSubgraph uses the first member as leader; mirror that choice.
+	for p, lv := range leaderOf {
+		x[lv] = perPart[p]
+	}
+	keepLeader := func(a, b Word) Word {
+		if a != 0 {
+			return a
+		}
+		return b
+	}
+	return PartwiseAggregate(net, part, sc, x, keepLeader)
+}

@@ -1,0 +1,314 @@
+// Package shortcuts implements the low-congestion shortcut framework of
+// Ghaffari–Haeupler used by the paper's second algorithm (Section 5): given
+// a partition of the vertices into connected parts, a shortcut assigns each
+// part an auxiliary subgraph H_i such that G[V_i] + H_i has small diameter
+// (dilation β) while every edge serves few parts (congestion α).
+//
+// The package provides three constructors (trivial, the worst-case
+// O(D + sqrt n) global-BFS rule, and a Steiner-tree heuristic that is good
+// on tree-like/planar-like families), measures the realized α and β of every
+// construction, and simulates part-wise aggregation with real per-edge
+// contention so that the round bill reflects the shortcut quality actually
+// achieved. On top sit the paper's tools: Descendants' Sum (Theorem 5.1),
+// Ancestors' Sum (Theorem 5.2), heavy-light/LCA labels (Theorem 5.3),
+// coverage detection by XOR fingerprints (Lemma 5.4) and marked-cover
+// counting (Lemma 5.5).
+package shortcuts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"twoecss/internal/congest"
+	"twoecss/internal/graph"
+	"twoecss/internal/tree"
+)
+
+// Partition assigns each vertex a part id (-1 = unassigned). Each part must
+// induce a connected subgraph of G.
+type Partition struct {
+	Of    []int // vertex -> part id
+	Parts int
+}
+
+// NewPartition validates and wraps a part assignment.
+func NewPartition(g *graph.Graph, of []int) (*Partition, error) {
+	if len(of) != g.N {
+		return nil, fmt.Errorf("shortcuts: partition length %d != n", len(of))
+	}
+	parts := 0
+	for _, p := range of {
+		if p >= parts {
+			parts = p + 1
+		}
+	}
+	// Connectivity check per part.
+	members := make([][]int, parts)
+	for v, p := range of {
+		if p >= 0 {
+			members[p] = append(members[p], v)
+		}
+	}
+	for p, ms := range members {
+		if len(ms) == 0 {
+			continue
+		}
+		seen := map[int]bool{ms[0]: true}
+		stack := []int{ms[0]}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, id := range g.Incident(v) {
+				u := g.Edges[id].Other(v)
+				if of[u] == p && !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		if len(seen) != len(ms) {
+			return nil, fmt.Errorf("shortcuts: part %d is disconnected", p)
+		}
+	}
+	return &Partition{Of: of, Parts: parts}, nil
+}
+
+// Shortcut is the per-part auxiliary edge sets plus realized quality.
+type Shortcut struct {
+	// EdgesOf[p] lists the graph edge ids of H_p (may include edges far
+	// from V_p whose endpoints merely relay).
+	EdgesOf [][]int
+	// Alpha is the realized congestion: max over edges of the number of
+	// parts whose G[V_i]+H_i contains the edge.
+	Alpha int
+	// Beta is the realized dilation: max over parts of the hop diameter
+	// of G[V_i]+H_i (measured from the part leader, times two).
+	Beta int
+	// BuildRounds is the construction bill gamma.
+	BuildRounds int64
+}
+
+// Quality returns alpha + beta.
+func (s *Shortcut) Quality() int { return s.Alpha + s.Beta }
+
+// Builder constructs shortcuts for partitions of a fixed graph.
+type Builder interface {
+	// Build returns the shortcut for the partition.
+	Build(part *Partition) (*Shortcut, error)
+	// Name identifies the strategy in experiment tables.
+	Name() string
+}
+
+// partSubgraph returns, for part p, the adjacency over G[V_p] + H_p as
+// edge-id lists per vertex, plus the member set.
+func partSubgraph(g *graph.Graph, part *Partition, hp []int, p int) (map[int][]int, []int) {
+	adj := map[int][]int{}
+	addEdge := func(id int) {
+		e := g.Edges[id]
+		adj[e.U] = append(adj[e.U], id)
+		adj[e.V] = append(adj[e.V], id)
+	}
+	seenEdge := map[int]bool{}
+	for v, q := range part.Of {
+		if q != p {
+			continue
+		}
+		for _, id := range g.Incident(v) {
+			e := g.Edges[id]
+			if part.Of[e.U] == p && part.Of[e.V] == p && !seenEdge[id] {
+				seenEdge[id] = true
+				addEdge(id)
+			}
+		}
+	}
+	for _, id := range hp {
+		if !seenEdge[id] {
+			seenEdge[id] = true
+			addEdge(id)
+		}
+	}
+	var members []int
+	for v, q := range part.Of {
+		if q == p {
+			members = append(members, v)
+		}
+	}
+	return adj, members
+}
+
+// measure computes realized alpha and beta and verifies every part is
+// connected within G[V_p]+H_p.
+func measure(g *graph.Graph, part *Partition, edgesOf [][]int) (int, int, error) {
+	use := map[int]int{}
+	beta := 0
+	for p := 0; p < part.Parts; p++ {
+		adj, members := partSubgraph(g, part, edgesOf[p], p)
+		if len(members) == 0 {
+			continue
+		}
+		seenEdge := map[int]bool{}
+		for _, ids := range adj {
+			for _, id := range ids {
+				if !seenEdge[id] {
+					seenEdge[id] = true
+					use[id]++
+				}
+			}
+		}
+		// BFS from the leader over the part subgraph.
+		leader := members[0]
+		dist := map[int]int{leader: 0}
+		queue := []int{leader}
+		far := 0
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, id := range adj[v] {
+				u := g.Edges[id].Other(v)
+				if _, ok := dist[u]; !ok {
+					dist[u] = dist[v] + 1
+					if dist[u] > far {
+						far = dist[u]
+					}
+					queue = append(queue, u)
+				}
+			}
+		}
+		for _, v := range members {
+			if _, ok := dist[v]; !ok {
+				return 0, 0, fmt.Errorf("shortcuts: part %d not connected with its shortcut", p)
+			}
+		}
+		if 2*far > beta {
+			beta = 2 * far
+		}
+	}
+	alpha := 0
+	for _, c := range use {
+		if c > alpha {
+			alpha = c
+		}
+	}
+	if beta == 0 {
+		beta = 1
+	}
+	if alpha == 0 {
+		alpha = 1
+	}
+	return alpha, beta, nil
+}
+
+// TrivialBuilder assigns no shortcut edges: beta equals the largest part
+// diameter (can be Theta(n)).
+type TrivialBuilder struct{ G *graph.Graph }
+
+// Name implements Builder.
+func (b *TrivialBuilder) Name() string { return "trivial" }
+
+// Build implements Builder.
+func (b *TrivialBuilder) Build(part *Partition) (*Shortcut, error) {
+	edgesOf := make([][]int, part.Parts)
+	alpha, beta, err := measure(b.G, part, edgesOf)
+	if err != nil {
+		return nil, err
+	}
+	return &Shortcut{EdgesOf: edgesOf, Alpha: alpha, Beta: beta, BuildRounds: 0}, nil
+}
+
+// GlobalBFSBuilder implements the classic worst-case bound: every part with
+// at least sqrt(n) vertices receives the whole BFS tree as its shortcut
+// (at most sqrt(n) such parts exist, so alpha <= sqrt(n)+1 and their beta
+// is O(D)); smaller parts get nothing (their diameter is < sqrt(n)).
+// This realizes alpha+beta = O(D + sqrt n) for every partition.
+type GlobalBFSBuilder struct {
+	G   *graph.Graph
+	BFS *tree.Rooted
+}
+
+// Name implements Builder.
+func (b *GlobalBFSBuilder) Name() string { return "global-bfs" }
+
+// Build implements Builder.
+func (b *GlobalBFSBuilder) Build(part *Partition) (*Shortcut, error) {
+	n := b.G.N
+	threshold := int(math.Ceil(math.Sqrt(float64(n))))
+	sizes := make([]int, part.Parts)
+	for _, p := range part.Of {
+		if p >= 0 {
+			sizes[p]++
+		}
+	}
+	bfsEdges := b.BFS.TreeEdgeIDs()
+	edgesOf := make([][]int, part.Parts)
+	for p := 0; p < part.Parts; p++ {
+		if sizes[p] >= threshold {
+			edgesOf[p] = bfsEdges
+		}
+	}
+	alpha, beta, err := measure(b.G, part, edgesOf)
+	if err != nil {
+		return nil, err
+	}
+	return &Shortcut{EdgesOf: edgesOf, Alpha: alpha, Beta: beta,
+		BuildRounds: int64(b.BFS.Height()) + 1}, nil
+}
+
+// SteinerBuilder gives each part the Steiner subtree of the BFS tree
+// spanning its members (union of root paths up to their common meet).
+// On tree-like and low-diameter planar-like families this realizes
+// alpha+beta near O(D); its quality is measured, never assumed.
+type SteinerBuilder struct {
+	G   *graph.Graph
+	BFS *tree.Rooted
+}
+
+// Name implements Builder.
+func (b *SteinerBuilder) Name() string { return "steiner" }
+
+// Build implements Builder.
+func (b *SteinerBuilder) Build(part *Partition) (*Shortcut, error) {
+	edgesOf := make([][]int, part.Parts)
+	for p := 0; p < part.Parts; p++ {
+		var members []int
+		for v, q := range part.Of {
+			if q == p {
+				members = append(members, v)
+			}
+		}
+		if len(members) <= 1 {
+			continue
+		}
+		// Meet = common ancestor of all members (iterated LCA).
+		meet := members[0]
+		for _, v := range members[1:] {
+			meet = b.BFS.LCA(meet, v)
+		}
+		seen := map[int]bool{}
+		var ids []int
+		for _, v := range members {
+			for x := v; x != meet; x = b.BFS.Parent[x] {
+				id := b.BFS.ParentEdge[x]
+				if seen[id] {
+					break // the rest of the path is already present
+				}
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		edgesOf[p] = ids
+	}
+	alpha, beta, err := measure(b.G, part, edgesOf)
+	if err != nil {
+		return nil, err
+	}
+	return &Shortcut{EdgesOf: edgesOf, Alpha: alpha, Beta: beta,
+		BuildRounds: int64(b.BFS.Height()) + 1}, nil
+}
+
+// Word re-exported for tool signatures.
+type Word = congest.Word
+
+// Combine is a binary aggregate operator.
+type Combine func(a, b Word) Word

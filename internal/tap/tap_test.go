@@ -1,0 +1,288 @@
+package tap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twoecss/internal/congest"
+	"twoecss/internal/graph"
+	"twoecss/internal/mst"
+	"twoecss/internal/primitives"
+)
+
+// fixture builds a solver over a random 2EC weighted graph with its MST.
+func fixture(t *testing.T, seed int64, n, extra int, mode graph.WeightMode) (*Solver, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := graph.GenConfig{Mode: mode, MaxW: 1000, Rng: rng}
+	g := graph.RandomSpanningTreePlus(n, extra, cfg)
+	if _, err := graph.Ensure2EC(g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	net := congest.NewNetwork(g)
+	bfs, err := primitives.BuildBFS(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := mst.KruskalTree(g, 0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(net, bfs, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func checkResult(t *testing.T, s *Solver, res *Result, eps float64, c float64) {
+	t.Helper()
+	// 1. Cover validity.
+	in := map[int]bool{}
+	for _, ve := range res.VEdges {
+		in[ve] = true
+	}
+	if !s.VG.FullyCovers(func(ve int) bool { return in[ve] }) {
+		t.Fatal("augmentation does not cover the tree")
+	}
+	// 2. Dual feasibility (Section 3.4 correctness).
+	if bad := s.DualFeasibilityViolations(res, eps); bad != 0 {
+		t.Fatalf("%d dual constraints violated", bad)
+	}
+	// 3. Coverage multiplicity (Lemma 3.2 / 4.18).
+	if res.MaxCoverRk > int(c) {
+		t.Fatalf("an R_k edge is covered %d times (bound %v)", res.MaxCoverRk, c)
+	}
+	// 4. Certified approximation on G' (Lemma 3.1): w(B) <= c(1+eps)^2 LB.
+	if res.DualLB > 0 {
+		bound := c * (1 + eps) * (1 + eps) * res.DualLB
+		if float64(res.VirtWeight) > bound*(1+1e-6) {
+			t.Fatalf("virtual weight %d exceeds certified bound %.2f (LB %.2f)",
+				res.VirtWeight, bound, res.DualLB)
+		}
+	}
+}
+
+func TestSolveWeightedCover2Random(t *testing.T) {
+	for _, tc := range []struct {
+		seed     int64
+		n, extra int
+	}{
+		{1, 12, 8}, {2, 25, 20}, {3, 40, 30}, {4, 60, 80}, {5, 90, 40},
+	} {
+		s, _ := fixture(t, tc.seed, tc.n, tc.extra, graph.WeightUniform)
+		res, err := s.SolveWeighted(0.25, Cover2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", tc.seed, err)
+		}
+		checkResult(t, s, res, 0.25, 2)
+	}
+}
+
+func TestSolveWeightedCover4Random(t *testing.T) {
+	for _, seed := range []int64{11, 12, 13} {
+		s, _ := fixture(t, seed, 45, 50, graph.WeightSkewed)
+		res, err := s.SolveWeighted(0.25, Cover4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkResult(t, s, res, 0.25, 4)
+	}
+}
+
+func TestSolveWeightedRing(t *testing.T) {
+	// On a pure cycle the tree is a path and the optimum augmentation is
+	// the single closing edge.
+	g := graph.RingWithChords(20, 0, graph.DefaultGenConfig(7))
+	net := congest.NewNetwork(g)
+	bfs, err := primitives.BuildBFS(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := mst.KruskalTree(g, 0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(net, bfs, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SolveWeighted(0.2, Cover2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OrigEdges) != 1 {
+		t.Fatalf("ring augmentation has %d edges, want 1", len(res.OrigEdges))
+	}
+	checkResult(t, s, res, 0.2, 2)
+}
+
+// bruteTAP finds the optimal virtual augmentation by exhaustive search over
+// subsets of original non-tree edges (each original edge contributes its
+// virtual edges together, matching what a real solution buys).
+func bruteTAPOrig(s *Solver) int64 {
+	nonTree := s.T.NonTreeEdgeIDs()
+	m := len(nonTree)
+	best := int64(math.MaxInt64)
+	for mask := 0; mask < 1<<m; mask++ {
+		var w int64
+		in := make(map[int]bool)
+		for j := 0; j < m; j++ {
+			if mask>>j&1 == 1 {
+				id := nonTree[j]
+				w += int64(s.T.G.Edges[id].W)
+				for _, ve := range s.VG.VirtualOf(id) {
+					in[ve] = true
+				}
+			}
+		}
+		if w >= best {
+			continue
+		}
+		if s.VG.FullyCovers(func(ve int) bool { return in[ve] }) {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestApproximationAgainstExactSmall(t *testing.T) {
+	// Theorem 4.19: weight of the projected augmentation is at most
+	// (4+eps) * OPT_TAP(G).
+	eps := 0.25
+	for _, seed := range []int64{21, 22, 23, 24, 25, 26} {
+		s, _ := fixture(t, seed, 10, 5, graph.WeightUniform)
+		if len(s.T.NonTreeEdgeIDs()) > 16 {
+			t.Skip("instance too large for brute force")
+		}
+		res, err := s.SolveWeighted(eps, Cover2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt := bruteTAPOrig(s)
+		bound := (4.0 + 2*eps) * float64(opt)
+		if float64(res.Weight) > bound+1e-6 {
+			t.Fatalf("seed %d: weight %d > (4+eps) * OPT %d", seed, res.Weight, opt)
+		}
+		// And the dual certificate must lower-bound 2*OPT (G' optimum).
+		if res.DualLB > 2*float64(opt)*(1+1e-9)+1e-9 {
+			t.Fatalf("seed %d: dual LB %.3f exceeds 2*OPT=%d", seed, res.DualLB, 2*opt)
+		}
+	}
+}
+
+func TestSolveUnweighted(t *testing.T) {
+	for _, seed := range []int64{31, 32, 33, 34} {
+		s, _ := fixture(t, seed, 40, 40, graph.WeightUnit)
+		res, err := s.SolveUnweighted()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		in := map[int]bool{}
+		for _, ve := range res.VEdges {
+			in[ve] = true
+		}
+		if !s.VG.FullyCovers(func(ve int) bool { return in[ve] }) {
+			t.Fatal("unweighted augmentation does not cover")
+		}
+		// 2-approximation certificate: the MIS is independent and the
+		// augmentation size is at most twice the MIS size.
+		if len(res.VEdges) > 2*res.MISSize {
+			t.Fatalf("|aug| = %d > 2 * MIS %d", len(res.VEdges), res.MISSize)
+		}
+	}
+}
+
+func TestUnweightedMISIndependence(t *testing.T) {
+	s, _ := fixture(t, 41, 35, 35, graph.WeightUnit)
+	res, err := s.SolveUnweighted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// Re-run to collect the MIS itself via the exposed verifier: collect
+	// anchors indirectly by checking independence of the petals' sources
+	// is covered in the e2e invariants; here we assert the certificate.
+	if res.MISSize == 0 {
+		t.Fatal("empty MIS on a 2EC graph")
+	}
+}
+
+func TestSolverRejectsBridgedGraph(t *testing.T) {
+	// Two triangles joined by one bridge: TAP is infeasible.
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 0, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(5, 3, 1)
+	net := congest.NewNetwork(g)
+	bfs, err := primitives.BuildBFS(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := mst.KruskalTree(g, 0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(net, bfs, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SolveWeighted(0.3, Cover2); err == nil {
+		t.Fatal("bridged graph accepted")
+	}
+}
+
+func TestEpsValidation(t *testing.T) {
+	s, _ := fixture(t, 51, 10, 8, graph.WeightUniform)
+	if _, err := s.SolveWeighted(0, Cover2); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := s.SolveWeighted(1.5, Cover2); err == nil {
+		t.Fatal("eps=1.5 accepted")
+	}
+	if _, err := s.SolveWeighted(0.2, Variant(9)); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+}
+
+func TestRoundsAccounted(t *testing.T) {
+	s, _ := fixture(t, 61, 50, 60, graph.WeightUniform)
+	if _, err := s.SolveWeighted(0.3, Cover2); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Net.Stats()
+	if st.SimulatedRounds == 0 || st.ChargedRounds == 0 {
+		t.Fatalf("rounds not accounted: %+v", st)
+	}
+	if len(s.Net.Phases()) == 0 {
+		t.Fatal("no phases recorded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (*Result, error) {
+		s, _ := fixture(t, 71, 30, 25, graph.WeightUniform)
+		return s.SolveWeighted(0.25, Cover2)
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weight != b.Weight || len(a.VEdges) != len(b.VEdges) {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d", a.Weight, len(a.VEdges), b.Weight, len(b.VEdges))
+	}
+	for i := range a.VEdges {
+		if a.VEdges[i] != b.VEdges[i] {
+			t.Fatal("edge sets differ between runs")
+		}
+	}
+}

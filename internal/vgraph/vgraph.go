@@ -1,0 +1,183 @@
+// Package vgraph builds the virtual graph G' of Section 4.1 (following
+// Khuller–Thurimella and Censor-Hillel–Dory): every non-tree edge {u,v} of
+// the input graph is replaced by one virtual edge (if u,v are already in
+// ancestor-descendant relation) or by the two virtual edges {u,w}, {v,w}
+// where w = LCA(u,v). All virtual edges run between an ancestor and a
+// descendant and cover exactly the same tree edges as their original edge,
+// so by Lemma 4.1 an α-approximate augmentation in G' projects to a
+// 2α-approximate augmentation in G.
+//
+// Each virtual edge is simulated by its descendant endpoint, which knows the
+// LCA labels of both endpoints; covering tests against tree edges are then
+// purely label-local (Observation 1).
+package vgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"twoecss/internal/graph"
+	"twoecss/internal/lca"
+	"twoecss/internal/tree"
+)
+
+// VEdge is a virtual ancestor-to-descendant non-tree edge.
+type VEdge struct {
+	// ID is the dense virtual edge id.
+	ID int
+	// Anc and Dec are the endpoints (Anc is an ancestor of Dec).
+	Anc, Dec int
+	// AncL and DecL are the LCA labels of the endpoints; the descendant
+	// endpoint, which simulates the edge, knows both.
+	AncL, DecL lca.Label
+	// Orig is the id (in the input graph) of the original non-tree edge
+	// this virtual edge derives from.
+	Orig int
+	// W is the weight, inherited from the original edge.
+	W graph.Weight
+}
+
+// VGraph is the virtual graph: the tree of the input graph plus virtual
+// ancestor-descendant non-tree edges.
+type VGraph struct {
+	T      *tree.Rooted
+	Lab    *lca.Labeling
+	VEdges []VEdge
+	// ByDesc[v] lists ids of virtual edges simulated by (descendant) v.
+	ByDesc [][]int
+	// origToVirt maps an original non-tree edge id to its 1 or 2 virtual
+	// edge ids.
+	origToVirt map[int][]int
+}
+
+// Build constructs G' from the rooted tree t and labeling lb of the input
+// graph. Non-tree edges whose endpoints coincide after LCA-splitting (an
+// endpoint equal to the LCA) produce a single virtual edge.
+func Build(t *tree.Rooted, lb *lca.Labeling) (*VGraph, error) {
+	vg := &VGraph{
+		T:          t,
+		Lab:        lb,
+		ByDesc:     make([][]int, t.G.N),
+		origToVirt: make(map[int][]int),
+	}
+	add := func(anc, dec, orig int, w graph.Weight) {
+		id := len(vg.VEdges)
+		vg.VEdges = append(vg.VEdges, VEdge{
+			ID: id, Anc: anc, Dec: dec,
+			AncL: lb.Of(anc).Core, DecL: lb.Of(dec).Core,
+			Orig: orig, W: w,
+		})
+		vg.ByDesc[dec] = append(vg.ByDesc[dec], id)
+		vg.origToVirt[orig] = append(vg.origToVirt[orig], id)
+	}
+	for _, id := range t.NonTreeEdgeIDs() {
+		e := t.G.Edges[id]
+		wl, err := lca.LCA(lb.Of(e.U), lb.Of(e.V))
+		if err != nil {
+			return nil, fmt.Errorf("vgraph: %w", err)
+		}
+		w := wl.ID
+		switch {
+		case w == e.U:
+			add(e.U, e.V, id, e.W)
+		case w == e.V:
+			add(e.V, e.U, id, e.W)
+		default:
+			add(w, e.U, id, e.W)
+			add(w, e.V, id, e.W)
+		}
+	}
+	return vg, nil
+}
+
+// Covers reports whether virtual edge ve covers the tree edge whose child
+// endpoint is c (label-local, Observation 1).
+func (vg *VGraph) Covers(ve int, c int) bool {
+	e := vg.VEdges[ve]
+	return lca.Covers(vg.Lab.Of(c).Core, e.AncL, e.DecL)
+}
+
+// CoveredTreeEdges returns the child endpoints of all tree edges covered by
+// ve, i.e. the vertices on the tree path from Dec up to (excluding) Anc.
+func (vg *VGraph) CoveredTreeEdges(ve int) []int {
+	e := vg.VEdges[ve]
+	var out []int
+	for x := e.Dec; x != e.Anc; x = vg.T.Parent[x] {
+		out = append(out, x)
+	}
+	return out
+}
+
+// CoverIndex returns, for each tree edge child endpoint v, the sorted list
+// of virtual edge ids covering the tree edge {v, parent(v)}. Entry of the
+// root is nil.
+func (vg *VGraph) CoverIndex() [][]int {
+	idx := make([][]int, vg.T.G.N)
+	for ve := range vg.VEdges {
+		for _, c := range vg.CoveredTreeEdges(ve) {
+			idx[c] = append(idx[c], ve)
+		}
+	}
+	for v := range idx {
+		sort.Ints(idx[v])
+	}
+	return idx
+}
+
+// FullyCovers reports whether the set of virtual edges (given as a
+// membership predicate over virtual edge ids) covers every tree edge.
+func (vg *VGraph) FullyCovers(in func(ve int) bool) bool {
+	n := vg.T.G.N
+	covered := make([]bool, n)
+	for ve := range vg.VEdges {
+		if !in(ve) {
+			continue
+		}
+		for _, c := range vg.CoveredTreeEdges(ve) {
+			covered[c] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v != vg.T.Root && !covered[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project maps a set of virtual edge ids back to original graph edge ids
+// (Lemma 4.1): each virtual edge is replaced by its originating edge, with
+// duplicates removed. The weight of the projection is at most the weight of
+// the virtual set.
+func (vg *VGraph) Project(ves []int) []int {
+	seen := make(map[int]bool, len(ves))
+	out := make([]int, 0, len(ves))
+	for _, ve := range ves {
+		o := vg.VEdges[ve].Orig
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// VirtualOf returns the virtual edge ids derived from original edge id.
+func (vg *VGraph) VirtualOf(orig int) []int { return vg.origToVirt[orig] }
+
+// Weight sums the weights of the given virtual edges.
+func (vg *VGraph) Weight(ves []int) graph.Weight {
+	var s graph.Weight
+	for _, ve := range ves {
+		s += vg.VEdges[ve].W
+	}
+	return s
+}
+
+// BuildFromGraph is a convenience composing BFS-tree-independent pieces:
+// given a graph and a root plus a precomputed spanning tree, it builds the
+// labeling and the virtual graph.
+func BuildFromGraph(t *tree.Rooted) (*VGraph, error) {
+	return Build(t, lca.Build(t))
+}
