@@ -18,18 +18,29 @@ func reportRatio(b *testing.B, t *experiments.Table, col string) {
 	for i, c := range t.Columns {
 		if c == col {
 			idx = i
+			break
 		}
 	}
 	if idx < 0 || len(t.Rows) == 0 {
 		return
 	}
-	worst := 0.0
+	worst, sum, count := 0.0, 0.0, 0
 	for _, r := range t.Rows {
-		if v, err := strconv.ParseFloat(r[idx], 64); err == nil && v > worst {
+		v, err := strconv.ParseFloat(r[idx], 64)
+		if err != nil {
+			continue
+		}
+		if v > worst {
 			worst = v
 		}
+		sum += v
+		count++
+	}
+	if count == 0 {
+		return
 	}
 	b.ReportMetric(worst, "worst-"+col)
+	b.ReportMetric(sum/float64(count), "mean-"+col)
 }
 
 func BenchmarkE1_Ecss5ApproxCertified(b *testing.B) {

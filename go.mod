@@ -1,0 +1,3 @@
+module twoecss
+
+go 1.24

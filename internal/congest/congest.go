@@ -21,8 +21,7 @@ package congest
 import (
 	"fmt"
 	"runtime"
-	"sort"
-	"sync"
+	"sync/atomic"
 
 	"twoecss/internal/graph"
 )
@@ -89,10 +88,12 @@ type Network struct {
 	// (defaults to GOMAXPROCS). Set to 1 for fully sequential execution.
 	Workers int
 
-	stats  Stats
-	phases []PhaseSpan
-	mark   Stats // stats snapshot at the start of the current phase
-	cur    string
+	stats   Stats
+	phases  []PhaseSpan
+	mark    Stats // stats snapshot at the start of the current phase
+	cur     string
+	sc      *scratch    // engine buffers, recycled across Run calls
+	running atomic.Bool // guards re-entrant/concurrent Run on shared scratch
 }
 
 // NewNetwork returns a network over g with the default eight-word budget.
@@ -145,135 +146,6 @@ type ErrBandwidth struct {
 func (e *ErrBandwidth) Error() string {
 	return fmt.Sprintf("congest: %d words from vertex %d on edge %d exceeds budget %d",
 		e.Words, e.From, e.EdgeID, e.Budget)
-}
-
-// Run executes the given handler to quiescence: it stops when no messages
-// are in flight and no node is active. maxRounds guards against
-// non-terminating programs. The initial set of active nodes is start (nil
-// means all nodes).
-func (n *Network) Run(handler Handler, start []int, maxRounds int64) error {
-	g := n.G
-	active := make([]bool, g.N)
-	if start == nil {
-		for v := range active {
-			active[v] = true
-		}
-	} else {
-		for _, v := range start {
-			active[v] = true
-		}
-	}
-	inboxes := make([][]Msg, g.N)
-	outboxes := make([][]Msg, g.N)
-	sched := make([]int, 0, g.N)
-
-	workers := n.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	for round := int64(0); ; round++ {
-		sched = sched[:0]
-		for v := 0; v < g.N; v++ {
-			if active[v] || len(inboxes[v]) > 0 {
-				sched = append(sched, v)
-			}
-		}
-		if len(sched) == 0 {
-			return nil
-		}
-		if round >= maxRounds {
-			return fmt.Errorf("congest: exceeded %d rounds without quiescence", maxRounds)
-		}
-		n.stats.SimulatedRounds++
-
-		if workers > 1 && len(sched) >= 64 {
-			var wg sync.WaitGroup
-			chunk := (len(sched) + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo := w * chunk
-				if lo >= len(sched) {
-					break
-				}
-				hi := lo + chunk
-				if hi > len(sched) {
-					hi = len(sched)
-				}
-				wg.Add(1)
-				go func(part []int) {
-					defer wg.Done()
-					for _, v := range part {
-						out, act := handler(v, inboxes[v])
-						outboxes[v] = out
-						active[v] = act
-					}
-				}(sched[lo:hi])
-			}
-			wg.Wait()
-		} else {
-			for _, v := range sched {
-				out, act := handler(v, inboxes[v])
-				outboxes[v] = out
-				active[v] = act
-			}
-		}
-
-		// Deliver: clear inboxes of scheduled nodes, then route outboxes.
-		for _, v := range sched {
-			inboxes[v] = inboxes[v][:0]
-		}
-		var bwErr error
-		edgeWords := map[[2]int]int{} // (edge, from) -> words this round
-		for _, v := range sched {
-			for _, m := range outboxes[v] {
-				if m.From != v {
-					return fmt.Errorf("congest: node %d forged sender %d", v, m.From)
-				}
-				if m.EdgeID < 0 || m.EdgeID >= g.M() {
-					return fmt.Errorf("congest: node %d sent on bad edge %d", v, m.EdgeID)
-				}
-				e := g.Edges[m.EdgeID]
-				if e.U != v && e.V != v {
-					return fmt.Errorf("congest: node %d sent on non-incident edge %d", v, m.EdgeID)
-				}
-				k := [2]int{m.EdgeID, v}
-				w := len(m.Data)
-				if w == 0 {
-					w = 1 // an empty message still occupies the slot
-				}
-				edgeWords[k] += w
-				if edgeWords[k] > n.WordsPerEdge && bwErr == nil {
-					bwErr = &ErrBandwidth{EdgeID: m.EdgeID, From: v, Words: edgeWords[k], Budget: n.WordsPerEdge}
-				}
-				if edgeWords[k] > n.stats.MaxEdgeWords {
-					n.stats.MaxEdgeWords = edgeWords[k]
-				}
-				to := m.To(g)
-				inboxes[to] = append(inboxes[to], m)
-				n.stats.Messages++
-				n.stats.Words += int64(len(m.Data))
-			}
-			outboxes[v] = nil
-		}
-		if bwErr != nil {
-			return bwErr
-		}
-		// Deterministic inbox order regardless of delivery order.
-		for v := 0; v < g.N; v++ {
-			if len(inboxes[v]) > 1 {
-				sortMsgs(inboxes[v])
-			}
-		}
-	}
-}
-
-func sortMsgs(ms []Msg) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].From != ms[j].From {
-			return ms[i].From < ms[j].From
-		}
-		return ms[i].EdgeID < ms[j].EdgeID
-	})
 }
 
 // KuttenPelegMSTRounds is the analytic round bill for the cited

@@ -2,6 +2,8 @@ package congest
 
 import (
 	"errors"
+	"runtime"
+	"strings"
 	"testing"
 
 	"twoecss/internal/graph"
@@ -167,5 +169,156 @@ func TestParallelDeterminism(t *testing.T) {
 	a, b := run(1), run(8)
 	if a.SimulatedRounds != b.SimulatedRounds || a.Messages != b.Messages {
 		t.Fatalf("parallel execution changed behaviour: %+v vs %+v", a, b)
+	}
+}
+
+// TestShardedDeliveryDeterminism guards the parallel routing path: a
+// sequential run and a fully parallel run of the same seeded gossip
+// workload must produce identical Stats and identical final node state.
+// Every node folds its inbox into an order-sensitive hash, so any change in
+// inbox order or content across worker counts fails the test.
+func TestShardedDeliveryDeterminism(t *testing.T) {
+	const rounds = 40
+	run := func(workers int) (Stats, []int64) {
+		g := graph.RandomSpanningTreePlus(300, 600, graph.DefaultGenConfig(7))
+		net := NewNetwork(g)
+		net.Workers = workers
+		state := make([]int64, g.N)
+		left := make([]int, g.N)
+		for v := range left {
+			left[v] = rounds
+			state[v] = int64(v)*2654435761 + 1
+		}
+		handler := func(v int, inbox []Msg) ([]Msg, bool) {
+			for _, m := range inbox {
+				// Order-sensitive mix: swapping two inbox entries
+				// changes the result.
+				state[v] = state[v]*1000003 + m.Data[0]*31 + int64(m.From)
+			}
+			if left[v] == 0 {
+				return nil, false
+			}
+			left[v]--
+			out := net.OutBuf(v)
+			for _, id := range g.Incident(v) {
+				out = append(out, Msg{EdgeID: id, From: v, Data: []Word{state[v] & 0xffff}})
+			}
+			return out, left[v] > 0
+		}
+		if err := net.Run(handler, nil, rounds+10); err != nil {
+			t.Fatal(err)
+		}
+		return net.Stats(), state
+	}
+	// A fixed pool size keeps the parallel engine paths exercised even on a
+	// single-CPU machine, where GOMAXPROCS would degenerate to 1 worker.
+	parWorkers := runtime.GOMAXPROCS(0)
+	if parWorkers < 4 {
+		parWorkers = 4
+	}
+	seqStats, seqState := run(1)
+	parStats, parState := run(parWorkers)
+	if seqStats != parStats {
+		t.Fatalf("stats diverge:\n seq %+v\n par %+v", seqStats, parStats)
+	}
+	for v := range seqState {
+		if seqState[v] != parState[v] {
+			t.Fatalf("node %d state diverges: %d vs %d", v, seqState[v], parState[v])
+		}
+	}
+	if seqStats.Messages == 0 {
+		t.Fatal("workload sent no messages")
+	}
+}
+
+// TestParallelErrorDeterminism guards the cross-worker error merge: when
+// several scheduled nodes misbehave in the same round, the reported error
+// must be the one with the smallest (sender, outbox index) for any worker
+// count. The graph is large enough (>= parallelSchedMin scheduled nodes)
+// that the parallel handler phase actually runs.
+func TestParallelErrorDeterminism(t *testing.T) {
+	const n = 100
+	for _, tc := range []struct {
+		name    string
+		bad     func(v int) []Msg // outbox for the two misbehaving nodes
+		badat   [2]int
+		wantSub string
+	}{
+		{
+			name:  "forged-sender",
+			badat: [2]int{10, 90},
+			bad: func(v int) []Msg {
+				return []Msg{{EdgeID: v, From: v + 1, Data: []Word{1}}}
+			},
+			wantSub: "node 10 forged sender",
+		},
+		{
+			name:  "bandwidth",
+			badat: [2]int{20, 70},
+			bad: func(v int) []Msg {
+				return []Msg{{EdgeID: v, From: v, Data: make([]Word, 99)}}
+			},
+			wantSub: "99 words from vertex 20",
+		},
+	} {
+		var errs [2]error
+		for i, workers := range []int{1, 8} {
+			g := pathGraph(n)
+			net := NewNetwork(g)
+			net.Workers = workers
+			handler := func(v int, inbox []Msg) ([]Msg, bool) {
+				if v == tc.badat[0] || v == tc.badat[1] {
+					return tc.bad(v), false
+				}
+				return nil, false
+			}
+			errs[i] = net.Run(handler, nil, 10)
+			if errs[i] == nil {
+				t.Fatalf("%s workers=%d: no error", tc.name, workers)
+			}
+		}
+		if errs[0].Error() != errs[1].Error() {
+			t.Fatalf("%s: error depends on worker count:\n seq: %v\n par: %v",
+				tc.name, errs[0], errs[1])
+		}
+		if !strings.Contains(errs[0].Error(), tc.wantSub) {
+			t.Fatalf("%s: got %v, want error mentioning %q", tc.name, errs[0], tc.wantSub)
+		}
+	}
+}
+
+// TestRunRecyclesAcrossCalls checks that repeated Runs on one Network reuse
+// engine buffers — a warmed-up Run must be nearly allocation-free — and
+// keep accumulating stats correctly.
+func TestRunRecyclesAcrossCalls(t *testing.T) {
+	g := pathGraph(8)
+	net := NewNetwork(g)
+	payload := []Word{9}
+	sent := false
+	runs := 0
+	handler := func(v int, inbox []Msg) ([]Msg, bool) {
+		if v == 0 && !sent {
+			sent = true
+			return append(net.OutBuf(v), Msg{EdgeID: 0, From: 0, Data: payload}), false
+		}
+		return nil, false
+	}
+	run := func() {
+		sent = false
+		runs++
+		if err := net.Run(handler, []int{0}, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up the scratch buffers
+	// Steady state: the only per-Run allocation left is the engine struct.
+	if allocs := testing.AllocsPerRun(5, run); allocs > 2 {
+		t.Fatalf("steady-state Run allocated %.1f objects, want <= 2", allocs)
+	}
+	if got := net.Stats().Messages; got != int64(runs) {
+		t.Fatalf("messages = %d, want %d", got, runs)
+	}
+	if got := net.Stats().SimulatedRounds; got != int64(2*runs) {
+		t.Fatalf("rounds = %d, want %d", got, 2*runs)
 	}
 }

@@ -1,0 +1,465 @@
+package congest
+
+// This file is the engine hot path of Network.Run. The design goals (see
+// DESIGN.md for the full write-up) are:
+//
+//   - Worklist scheduling: a round schedules exactly the nodes that are
+//     active or hold undelivered messages; building the next worklist costs
+//     O(active), not O(N).
+//   - Flat bandwidth accounting: the per-(edge,direction) word counters live
+//     in one []int32 indexed by 2*edgeID+dir and are lazily reset by an
+//     epoch stamp, so a round allocates no map and pays no reset loop.
+//   - Buffer recycling: inboxes, outboxes, and worklists persist across
+//     rounds and across Run calls on the same Network; handlers can opt into
+//     recycled outbox envelopes via Network.OutBuf. In steady state a round
+//     performs zero engine-side allocations.
+//   - Sharded delivery: both handler execution and message routing run on a
+//     small worker pool spawned per Run. Delivery is sharded by receiver, so
+//     every inbox is filled by exactly one worker scanning senders in
+//     ascending order — results are bit-identical for any worker count.
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+)
+
+// parallelSchedMin and parallelMsgsPerWorker gate the parallel paths: below
+// these sizes the dispatch barrier costs more than the work. The routing
+// threshold scales with the pool size because every routing worker scans all
+// outbox messages and delivers only its own receiver shard, so the per-round
+// message count must grow with W for sharding to win.
+const (
+	parallelSchedMin      = 64
+	parallelMsgsPerWorker = 64
+)
+
+// wstate is the per-worker accumulator for one round. Hot counters are kept
+// in locals inside the phase functions and written back once per phase, so
+// false sharing between adjacent wstates is not a concern.
+type wstate struct {
+	messages int64
+	words    int64
+	maxEdge  int32
+	recv     []int // receivers this worker delivered to this round
+	// First validation/bandwidth error observed by this worker, with its
+	// (sender, outbox index) position for deterministic cross-worker merge.
+	valErr     error
+	valV, valI int
+	bwErr      *ErrBandwidth
+	bwV, bwI   int
+}
+
+// scratch holds all engine state that survives rounds and Run calls. It is
+// lazily sized to the network's graph on first use.
+type scratch struct {
+	inboxes  [][]Msg
+	outboxes [][]Msg
+	outBufs  [][]Msg // recycled envelopes handed out by OutBuf
+	handed   []bool  // v's handler took its OutBuf envelope this round
+	active   []bool
+	pending  []bool // v is already on the next worklist
+	hasMsg   []bool // v already received a message this round
+	sched    []int  // current round worklist, ascending
+	next     []int  // next round worklist, unsorted until round end
+	// edgeWords[2*id+dir] counts words sent this round on edge id in
+	// direction dir (0 = from Edges[id].U, 1 = from Edges[id].V). A slot is
+	// valid only when edgeEpoch matches the current epoch; epochs increment
+	// every round and are never reset, so no per-round clearing is needed.
+	edgeWords []int32
+	edgeEpoch []int64
+	epoch     int64
+	workers   []wstate
+}
+
+func (s *scratch) ensure(n, m, workers int) {
+	if len(s.inboxes) < n {
+		s.inboxes = make([][]Msg, n)
+		s.outboxes = make([][]Msg, n)
+		s.outBufs = make([][]Msg, n)
+		s.handed = make([]bool, n)
+		s.active = make([]bool, n)
+		s.pending = make([]bool, n)
+		s.hasMsg = make([]bool, n)
+		s.sched = make([]int, 0, n)
+		s.next = make([]int, 0, n)
+	}
+	if len(s.edgeWords) < 2*m {
+		s.edgeWords = make([]int32, 2*m)
+		s.edgeEpoch = make([]int64, 2*m)
+	}
+	if len(s.workers) < workers {
+		s.workers = make([]wstate, workers)
+	}
+}
+
+// OutBuf returns node v's recycled outbox envelope, truncated to length
+// zero. A handler running for v may append its outgoing messages to it and
+// return it, avoiding a per-round slice allocation; the engine consumes the
+// returned slice before v's handler runs again. It must only be called from
+// within v's own handler invocation, and a handler that calls OutBuf(v)
+// must return either that buffer (possibly grown by append) or nil — never
+// a buffer shared with other nodes: the returned slice is adopted as v's
+// envelope for later rounds, and concurrently running handlers would then
+// race on the shared backing array.
+func (n *Network) OutBuf(v int) []Msg {
+	if n.sc == nil || v >= len(n.sc.outBufs) {
+		return nil
+	}
+	n.sc.handed[v] = true
+	return n.sc.outBufs[v][:0]
+}
+
+// msgCmp orders messages by (From, EdgeID): the deterministic inbox order
+// contract. It is a top-level function so slices.SortFunc never allocates.
+func msgCmp(a, b Msg) int {
+	if a.From != b.From {
+		return a.From - b.From
+	}
+	return a.EdgeID - b.EdgeID
+}
+
+// engine is the per-Run execution state: the handler, the worker pool, and
+// pointers to the Network's persistent scratch.
+type engine struct {
+	net     *Network
+	sc      *scratch
+	handler Handler
+	W       int // pool size (including the main goroutine as worker 0)
+
+	// pool state; workers are spawned lazily on the first parallel round.
+	started bool
+	start   []chan int8 // per-worker phase trigger (1=handlers, 2=route)
+	done    chan struct{}
+}
+
+// Run executes the given handler to quiescence: it stops when no messages
+// are in flight and no node is active. maxRounds guards against
+// non-terminating programs. The initial set of active nodes is start (nil
+// means all nodes). Buffers are recycled across calls, so repeated Runs on
+// one Network allocate only on the first call; the graph must not change
+// between calls on the same Network.
+func (n *Network) Run(handler Handler, start []int, maxRounds int64) error {
+	g := n.G
+	// The scratch buffers are shared across Run calls, so a re-entrant or
+	// concurrent Run on the same Network would corrupt this run's state;
+	// fail loudly instead (CAS also catches two goroutines racing in).
+	if !n.running.CompareAndSwap(false, true) {
+		return fmt.Errorf("congest: concurrent or re-entrant Run on the same Network")
+	}
+	defer n.running.Store(false)
+	workers := n.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n.sc == nil {
+		n.sc = &scratch{}
+	}
+	sc := n.sc
+	sc.ensure(g.N, g.M(), workers)
+
+	// Reset per-Run state. A previous errored Run may have left stale
+	// inboxes or worklist flags behind.
+	for v := 0; v < g.N; v++ {
+		sc.inboxes[v] = sc.inboxes[v][:0]
+		sc.outboxes[v] = nil
+		sc.handed[v] = false
+		sc.active[v] = false
+		sc.pending[v] = false
+		sc.hasMsg[v] = false
+	}
+	sc.sched = sc.sched[:0]
+	sc.next = sc.next[:0]
+	if start == nil {
+		for v := 0; v < g.N; v++ {
+			sc.pending[v] = true
+			sc.next = append(sc.next, v)
+		}
+	} else {
+		for _, v := range start {
+			if v < 0 || v >= g.N {
+				return fmt.Errorf("congest: start node %d out of range [0,%d)", v, g.N)
+			}
+			if !sc.pending[v] {
+				sc.pending[v] = true
+				sc.next = append(sc.next, v)
+			}
+		}
+		slices.Sort(sc.next)
+	}
+
+	e := &engine{net: n, sc: sc, handler: handler, W: workers}
+	defer e.shutdown()
+
+	for round := int64(0); ; round++ {
+		sc.sched, sc.next = sc.next, sc.sched[:0]
+		if len(sc.sched) == 0 {
+			return nil
+		}
+		if round >= maxRounds {
+			return fmt.Errorf("congest: exceeded %d rounds without quiescence", maxRounds)
+		}
+		n.stats.SimulatedRounds++
+		sc.epoch++
+		for _, v := range sc.sched {
+			sc.pending[v] = false
+		}
+
+		// Phase 1: run handlers, validate outboxes, account bandwidth.
+		// Each scheduled node is processed by exactly one worker, and every
+		// (edge,direction) counter slot is owned by its unique sender, so
+		// the phase needs no locks.
+		var roundMsgs int64
+		used := e.runPhase(1, len(sc.sched) >= parallelSchedMin)
+		for w := 0; w < used; w++ {
+			ws := &sc.workers[w]
+			n.stats.Messages += ws.messages
+			n.stats.Words += ws.words
+			if int(ws.maxEdge) > n.stats.MaxEdgeWords {
+				n.stats.MaxEdgeWords = int(ws.maxEdge)
+			}
+			roundMsgs += ws.messages
+			ws.messages, ws.words, ws.maxEdge = 0, 0, 0
+		}
+		if err := e.mergeErrors(used); err != nil {
+			return err
+		}
+
+		// Nodes that stay active are scheduled again.
+		for _, v := range sc.sched {
+			if sc.active[v] && !sc.pending[v] {
+				sc.pending[v] = true
+				sc.next = append(sc.next, v)
+			}
+		}
+
+		// Phase 2: route messages to receiver inboxes, sharded by receiver.
+		used = 0
+		if roundMsgs > 0 {
+			used = e.runPhase(2, roundMsgs >= int64(parallelMsgsPerWorker*e.W))
+		}
+		for w := 0; w < used; w++ {
+			ws := &sc.workers[w]
+			for _, to := range ws.recv {
+				if !sc.pending[to] {
+					sc.pending[to] = true
+					sc.next = append(sc.next, to)
+				}
+			}
+			ws.recv = ws.recv[:0]
+		}
+		slices.Sort(sc.next)
+	}
+}
+
+// runPhase executes one phase, parallel if the pool is big enough and the
+// caller's size gate says the work amortizes the barrier. It returns the
+// number of worker slots the phase wrote to, so the merge loop and the
+// execution path can never disagree.
+func (e *engine) runPhase(phase int8, parallel bool) int {
+	if e.W > 1 && parallel {
+		e.dispatch(phase)
+		return e.W
+	}
+	if phase == 1 {
+		e.runHandlers(0, 1)
+	} else {
+		e.route(0, 1)
+	}
+	return 1
+}
+
+// dispatch fans a phase out over the pool; the main goroutine works as
+// worker 0. Channel operations carry no payload, so a round's dispatch
+// performs no allocation. The pool is spawned lazily on the first parallel
+// round and lives for the duration of one Run: persisting it across Runs
+// would save W-1 goroutine spawns per parallel Run, but a Network has no
+// Close, so pool goroutines parked on their trigger channels would leak for
+// every abandoned Network (see ROADMAP).
+func (e *engine) dispatch(phase int8) {
+	if !e.started {
+		e.started = true
+		e.start = make([]chan int8, e.W)
+		e.done = make(chan struct{}, e.W)
+		for w := 1; w < e.W; w++ {
+			e.start[w] = make(chan int8)
+			go func(w int) {
+				for ph := range e.start[w] {
+					if ph == 1 {
+						e.runHandlers(w, e.W)
+					} else {
+						e.route(w, e.W)
+					}
+					e.done <- struct{}{}
+				}
+			}(w)
+		}
+	}
+	for w := 1; w < e.W; w++ {
+		e.start[w] <- phase
+	}
+	if phase == 1 {
+		e.runHandlers(0, e.W)
+	} else {
+		e.route(0, e.W)
+	}
+	for w := 1; w < e.W; w++ {
+		<-e.done
+	}
+}
+
+func (e *engine) shutdown() {
+	if !e.started {
+		return
+	}
+	for w := 1; w < e.W; w++ {
+		close(e.start[w])
+	}
+}
+
+// runHandlers executes worker w's contiguous share of the schedule: the
+// handler call, outbox validation, and bandwidth accounting.
+func (e *engine) runHandlers(w, W int) {
+	sc, g := e.sc, e.net.G
+	sched := sc.sched
+	chunk := (len(sched) + W - 1) / W
+	lo := w * chunk
+	if lo > len(sched) {
+		lo = len(sched)
+	}
+	hi := lo + chunk
+	if hi > len(sched) {
+		hi = len(sched)
+	}
+	ws := &sc.workers[w]
+	budget := int32(e.net.WordsPerEdge)
+	epoch := sc.epoch
+	var messages, words int64
+	maxEdge := ws.maxEdge
+	for _, v := range sched[lo:hi] {
+		out, act := e.handler(v, sc.inboxes[v])
+		sc.inboxes[v] = sc.inboxes[v][:0]
+		sc.active[v] = act
+		sc.outboxes[v] = out
+		// Re-adopt the OutBuf envelope (possibly grown by append) only when
+		// this handler invocation took it: adopting arbitrary returned
+		// slices would let a buffer shared across nodes alias multiple
+		// outBufs entries and race on a later parallel Run.
+		if sc.handed[v] {
+			sc.handed[v] = false
+			if cap(out) > cap(sc.outBufs[v]) {
+				sc.outBufs[v] = out
+			}
+		}
+		for i := range out {
+			m := &out[i]
+			if m.From != v {
+				ws.recordVal(fmt.Errorf("congest: node %d forged sender %d", v, m.From), v, i)
+				break
+			}
+			if m.EdgeID < 0 || m.EdgeID >= g.M() {
+				ws.recordVal(fmt.Errorf("congest: node %d sent on bad edge %d", v, m.EdgeID), v, i)
+				break
+			}
+			edge := g.Edges[m.EdgeID]
+			dir := 0
+			if edge.V == v {
+				dir = 1
+			} else if edge.U != v {
+				ws.recordVal(fmt.Errorf("congest: node %d sent on non-incident edge %d", v, m.EdgeID), v, i)
+				break
+			}
+			slot := 2*m.EdgeID + dir
+			if sc.edgeEpoch[slot] != epoch {
+				sc.edgeEpoch[slot] = epoch
+				sc.edgeWords[slot] = 0
+			}
+			cost := int32(len(m.Data))
+			if cost == 0 {
+				cost = 1 // an empty message still occupies the slot
+			}
+			sc.edgeWords[slot] += cost
+			if sc.edgeWords[slot] > budget && ws.bwErr == nil {
+				ws.bwErr = &ErrBandwidth{EdgeID: m.EdgeID, From: v,
+					Words: int(sc.edgeWords[slot]), Budget: e.net.WordsPerEdge}
+				ws.bwV, ws.bwI = v, i
+			}
+			if sc.edgeWords[slot] > maxEdge {
+				maxEdge = sc.edgeWords[slot]
+			}
+			messages++
+			words += int64(len(m.Data))
+		}
+	}
+	ws.messages += messages
+	ws.words += words
+	ws.maxEdge = maxEdge
+}
+
+func (ws *wstate) recordVal(err error, v, i int) {
+	if ws.valErr == nil {
+		ws.valErr, ws.valV, ws.valI = err, v, i
+	}
+}
+
+// mergeErrors picks the deterministic first error across workers: the one
+// with the smallest (sender, outbox index), validation errors first. The
+// result is therefore independent of the worker count.
+func (e *engine) mergeErrors(used int) error {
+	var val error
+	var bw *ErrBandwidth
+	valV, valI, bwV, bwI := -1, -1, -1, -1
+	for w := 0; w < used; w++ {
+		ws := &e.sc.workers[w]
+		if ws.valErr != nil && (valV < 0 || ws.valV < valV || (ws.valV == valV && ws.valI < valI)) {
+			val, valV, valI = ws.valErr, ws.valV, ws.valI
+		}
+		if ws.bwErr != nil && (bwV < 0 || ws.bwV < bwV || (ws.bwV == bwV && ws.bwI < bwI)) {
+			bw, bwV, bwI = ws.bwErr, ws.bwV, ws.bwI
+		}
+		ws.valErr, ws.bwErr = nil, nil
+	}
+	if val != nil {
+		return val
+	}
+	if bw != nil {
+		return bw
+	}
+	return nil
+}
+
+// route delivers every outbox message whose receiver falls in worker w's
+// contiguous receiver range, scanning senders in ascending schedule order —
+// so each inbox is appended to by exactly one worker, in deterministic
+// order, and is sorted by that worker once its scan completes.
+func (e *engine) route(w, W int) {
+	sc, g := e.sc, e.net.G
+	n := g.N
+	lo, hi := w*n/W, (w+1)*n/W
+	if w == W-1 {
+		hi = n
+	}
+	ws := &sc.workers[w]
+	recv := ws.recv
+	for _, v := range sc.sched {
+		for _, m := range sc.outboxes[v] {
+			to := g.Edges[m.EdgeID].Other(v)
+			if to < lo || to >= hi {
+				continue
+			}
+			if !sc.hasMsg[to] {
+				sc.hasMsg[to] = true
+				recv = append(recv, to)
+			}
+			sc.inboxes[to] = append(sc.inboxes[to], m)
+		}
+	}
+	// Deterministic inbox order regardless of outbox order: (From, EdgeID).
+	for _, to := range recv {
+		if len(sc.inboxes[to]) > 1 {
+			slices.SortFunc(sc.inboxes[to], msgCmp)
+		}
+		sc.hasMsg[to] = false
+	}
+	ws.recv = recv
+}

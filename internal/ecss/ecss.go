@@ -41,6 +41,10 @@ type Options struct {
 	MST MSTMode
 	// Root is the vertex the BFS and spanning trees are rooted at.
 	Root int
+	// Workers sets the engine worker-pool size of the network Solve
+	// creates (<=0: GOMAXPROCS). Callers that already parallelize above
+	// the engine — like the experiment harness — set 1.
+	Workers int
 }
 
 // DefaultOptions returns Theorem 1.1's configuration.
@@ -82,6 +86,9 @@ func Solve(g *graph.Graph, opt Options) (*Result, *congest.Network, error) {
 		return nil, nil, fmt.Errorf("ecss: need at least 3 vertices")
 	}
 	net := congest.NewNetwork(g)
+	if opt.Workers > 0 {
+		net.Workers = opt.Workers
+	}
 	net.BeginPhase("bfs")
 	bfs, err := primitives.BuildBFS(net, opt.Root)
 	if err != nil {

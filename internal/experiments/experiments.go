@@ -1,6 +1,8 @@
 // Package experiments defines the reproduction experiments E1-E12 (see
 // DESIGN.md): each one turns a theorem or claim of the paper into a
-// measurable run and renders a table row set. The same runners back
+// measurable run and renders a table row set. Every experiment is a list of
+// independent cells (family × size × seed) evaluated on a worker pool (see
+// parallel.go) with deterministic row order. The same runners back
 // cmd/bench and the root-level testing.B benchmarks.
 package experiments
 
@@ -8,11 +10,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"strings"
 
 	"twoecss/internal/baseline"
-	"twoecss/internal/congest"
 	"twoecss/internal/ecss"
 	"twoecss/internal/graph"
 	"twoecss/internal/layering"
@@ -30,6 +30,10 @@ type Table struct {
 	Columns   []string
 	Rows      [][]string
 	Notes     []string
+	// Rounds and Messages accumulate the engine statistics of every
+	// network the experiment ran; cmd/bench -json records them as the
+	// benchmark trajectory.
+	Rounds, Messages int64
 }
 
 // Render prints the table in a fixed-width layout.
@@ -64,6 +68,10 @@ func (t *Table) Render() string {
 }
 
 func f(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
+
+// cellSeed derives an independent seed for cell i of an experiment, so
+// cells share no random state and can run on any worker.
+func cellSeed(seed int64, i int) int64 { return seed + int64(i+1)*1000003 }
 
 // family generates one instance of the named graph family.
 func family(name string, n int, seed int64) (*graph.Graph, error) {
@@ -111,26 +119,33 @@ func E1(sizes []int, seed int64) (*Table, error) {
 			"certified-ratio", "bound(5+eps)", "rounds"},
 		Notes: []string{"certified-ratio = weight / max(w(MST), dualLB/2); OPT-relative ratio is lower"},
 	}
-	for _, fam := range []string{"er", "grid", "ring", "treeleafcycle"} {
-		for _, n := range sizes {
-			g, err := family(fam, n, seed)
-			if err != nil {
-				return nil, err
-			}
-			opt := ecss.DefaultOptions()
-			res, net, err := ecss.Solve(g, opt)
-			if err != nil {
-				return nil, err
-			}
-			if err := ecss.Verify(g, res); err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				fam, f("%d", g.N), f("%d", g.M()), f("%d", res.Weight),
-				f("%.1f", res.LowerBound), f("%.3f", res.CertifiedRatio),
-				f("%.2f", 5+opt.Eps), f("%d", net.Stats().TotalRounds()),
-			})
+	fams := []string{"er", "grid", "ring", "treeleafcycle"}
+	err := runCells(t, len(fams)*len(sizes), func(i int) (cellOut, error) {
+		var c cellOut
+		fam, n := fams[i/len(sizes)], sizes[i%len(sizes)]
+		g, err := family(fam, n, seed)
+		if err != nil {
+			return c, err
 		}
+		opt := ecss.DefaultOptions()
+		opt.Workers = 1 // cell-level parallelism only; see parallel.go
+		res, net, err := ecss.Solve(g, opt)
+		if err != nil {
+			return c, err
+		}
+		if err := ecss.Verify(g, res); err != nil {
+			return c, err
+		}
+		c.addStats(net)
+		c.rows = [][]string{{
+			fam, f("%d", g.N), f("%d", g.M()), f("%d", res.Weight),
+			f("%.1f", res.LowerBound), f("%.3f", res.CertifiedRatio),
+			f("%.2f", 5+opt.Eps), f("%d", net.Stats().TotalRounds()),
+		}}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -146,13 +161,15 @@ func E2(sizes []int, seed int64) (*Table, error) {
 			"bound", "virt-weight", "opt(G')", "ratio(G')", "bound(G')"},
 	}
 	eps := 0.25
-	for _, n := range sizes {
+	err := runCells(t, len(sizes), func(i int) (cellOut, error) {
+		var c cellOut
+		n := sizes[i]
 		cfg := graph.DefaultGenConfig(seed + int64(n))
 		g := graph.PathWithIntervals(n, n, cfg)
-		net := congest.NewNetwork(g)
+		net := newNetwork(g)
 		bfs, err := primitives.BuildBFS(net, 0)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		// The tree is the path itself.
 		treeIDs := make([]int, 0, n-1)
@@ -164,7 +181,7 @@ func E2(sizes []int, seed int64) (*Table, error) {
 		}
 		rt, err := tree.NewFromEdgeSet(g, 0, treeIDs)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		inTree := map[int]bool{}
 		for _, id := range treeIDs {
@@ -182,27 +199,32 @@ func E2(sizes []int, seed int64) (*Table, error) {
 		}
 		opt, _, err := baseline.ExactPathTAP(n, ivs)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		solver, err := tap.NewSolver(net, bfs, rt)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		res, err := solver.SolveWeighted(eps, tap.Cover2)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		_, _, optVirt, err := baseline.KhullerThurimella(rt)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
-		t.Rows = append(t.Rows, []string{
+		c.addStats(net)
+		c.rows = [][]string{{
 			f("path+intervals"), f("%d", n), f("%d", res.Weight), f("%d", opt),
 			f("%.3f", float64(res.Weight)/float64(opt)), f("%.2f", 4+2*eps),
 			f("%d", res.VirtWeight), f("%d", optVirt),
 			f("%.3f", float64(res.VirtWeight)/float64(optVirt)),
 			f("%.2f", 2*(1+eps)*(1+eps)),
-		})
+		}}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -225,28 +247,36 @@ func E3(sizes []int, seed int64) (*Table, error) {
 		Notes:   []string{"normalized = total / ((D+sqrt n) * log2(n)^2 / eps); flat = matches bound"},
 	}
 	eps := 0.25
-	for _, n := range sizes {
+	err := runCells(t, len(sizes), func(i int) (cellOut, error) {
+		var c cellOut
+		n := sizes[i]
 		g, err := family("er", n, seed)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		diam, err := g.DiameterApprox()
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		opt := ecss.DefaultOptions()
 		opt.Eps = eps
+		opt.Workers = 1 // cell-level parallelism only; see parallel.go
 		_, net, err := ecss.Solve(g, opt)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		st := net.Stats()
 		lg := math.Log2(float64(n))
 		norm := float64(st.TotalRounds()) / ((float64(diam) + math.Sqrt(float64(n))) * lg * lg / eps)
-		t.Rows = append(t.Rows, []string{
+		c.addStats(net)
+		c.rows = [][]string{{
 			f("%d", n), f("%d", g.M()), f("%d", diam), f("%d", st.SimulatedRounds),
 			f("%d", st.ChargedRounds), f("%d", st.TotalRounds()), f("%.3f", norm),
-		})
+		}}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -261,51 +291,57 @@ func E4(sizes []int, seed int64) (*Table, error) {
 			"alpha+beta", "D+sqrt(n)", "rounds"},
 		Notes: []string{"alpha+beta below D+sqrt(n) on the nice family shows the shortcut advantage"},
 	}
-	for _, n := range sizes {
-		for _, fam := range []string{"treeleafcycle", "er"} {
-			g, err := family(fam, n, seed)
-			if err != nil {
-				return nil, err
-			}
-			diam, err := g.DiameterApprox()
-			if err != nil {
-				return nil, err
-			}
-			net := congest.NewNetwork(g)
-			bfs, err := primitives.BuildBFS(net, 0)
-			if err != nil {
-				return nil, err
-			}
-			rt, err := mst.KruskalTree(g, 0, net)
-			if err != nil {
-				return nil, err
-			}
-			var b shortcuts.Builder
-			if fam == "treeleafcycle" {
-				b = &shortcuts.SteinerBuilder{G: g, BFS: bfs}
-			} else {
-				b = &shortcuts.GlobalBFSBuilder{G: g, BFS: bfs}
-			}
-			solver, err := setcover.NewSolver(net, bfs, rt, b)
-			if err != nil {
-				return nil, err
-			}
-			rng := rand.New(rand.NewSource(seed))
-			res, err := solver.Solve(setcover.DefaultOptions(g.N, rng))
-			if err != nil {
-				return nil, err
-			}
-			gw, _, err := baseline.GreedyTAP(rt)
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				fam, b.Name(), f("%d", g.N), f("%d", diam), f("%d", res.Weight),
-				f("%d", gw), f("%d", res.MaxShortcutQuality),
-				f("%.0f", float64(diam)+math.Sqrt(float64(g.N))),
-				f("%d", net.Stats().TotalRounds()),
-			})
+	fams := []string{"treeleafcycle", "er"}
+	err := runCells(t, len(sizes)*len(fams), func(i int) (cellOut, error) {
+		var c cellOut
+		n, fam := sizes[i/len(fams)], fams[i%len(fams)]
+		g, err := family(fam, n, seed)
+		if err != nil {
+			return c, err
 		}
+		diam, err := g.DiameterApprox()
+		if err != nil {
+			return c, err
+		}
+		net := newNetwork(g)
+		bfs, err := primitives.BuildBFS(net, 0)
+		if err != nil {
+			return c, err
+		}
+		rt, err := mst.KruskalTree(g, 0, net)
+		if err != nil {
+			return c, err
+		}
+		var b shortcuts.Builder
+		if fam == "treeleafcycle" {
+			b = &shortcuts.SteinerBuilder{G: g, BFS: bfs}
+		} else {
+			b = &shortcuts.GlobalBFSBuilder{G: g, BFS: bfs}
+		}
+		solver, err := setcover.NewSolver(net, bfs, rt, b)
+		if err != nil {
+			return c, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		res, err := solver.Solve(setcover.DefaultOptions(g.N, rng))
+		if err != nil {
+			return c, err
+		}
+		gw, _, err := baseline.GreedyTAP(rt)
+		if err != nil {
+			return c, err
+		}
+		c.addStats(net)
+		c.rows = [][]string{{
+			fam, b.Name(), f("%d", g.N), f("%d", diam), f("%d", res.Weight),
+			f("%d", gw), f("%d", res.MaxShortcutQuality),
+			f("%.0f", float64(diam)+math.Sqrt(float64(g.N))),
+			f("%d", net.Stats().TotalRounds()),
+		}}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -317,59 +353,62 @@ func E5(sizes []int, seed int64) (*Table, error) {
 		Title:   "Claim 4.7 — number of layers is O(log n)",
 		Columns: []string{"family", "n", "leaves", "layers", "log2-bound", "paths"},
 	}
-	rng := rand.New(rand.NewSource(seed))
 	fams := []struct {
 		name string
-		gen  func(n int) *graph.Graph
+		gen  func(n int, s int64) *graph.Graph
 	}{
-		{"path", func(n int) *graph.Graph {
+		{"path", func(n int, s int64) *graph.Graph {
 			g := graph.New(n)
 			for v := 1; v < n; v++ {
 				g.MustAddEdge(v-1, v, 1)
 			}
 			return g
 		}},
-		{"star", func(n int) *graph.Graph {
+		{"star", func(n int, s int64) *graph.Graph {
 			g := graph.New(n)
 			for v := 1; v < n; v++ {
 				g.MustAddEdge(0, v, 1)
 			}
 			return g
 		}},
-		{"randomtree", func(n int) *graph.Graph {
-			cfg := graph.GenConfig{Mode: graph.WeightUnit, MaxW: 1, Rng: rng}
+		{"randomtree", func(n int, s int64) *graph.Graph {
+			cfg := graph.GenConfig{Mode: graph.WeightUnit, MaxW: 1, Rng: rand.New(rand.NewSource(s))}
 			return graph.RandomSpanningTreePlus(n, 0, cfg)
 		}},
-		{"caterpillar", func(n int) *graph.Graph {
-			return graph.Caterpillar(n/4+1, 3, graph.DefaultGenConfig(seed))
+		{"caterpillar", func(n int, s int64) *graph.Graph {
+			return graph.Caterpillar(n/4+1, 3, graph.DefaultGenConfig(s))
 		}},
 	}
-	for _, fam := range fams {
-		for _, n := range sizes {
-			g := fam.gen(n)
-			rt, err := tree.BFSTree(g, 0)
-			if err != nil {
-				return nil, err
-			}
-			l, err := layering.Build(rt)
-			if err != nil {
-				return nil, err
-			}
-			leaves := 0
-			for v := 0; v < g.N; v++ {
-				if len(rt.Children[v]) == 0 {
-					leaves++
-				}
-			}
-			bound := 1
-			for 1<<bound < leaves {
-				bound++
-			}
-			t.Rows = append(t.Rows, []string{
-				fam.name, f("%d", g.N), f("%d", leaves), f("%d", l.NumLayers),
-				f("%d", bound+1), f("%d", len(l.Paths)),
-			})
+	err := runCells(t, len(fams)*len(sizes), func(i int) (cellOut, error) {
+		var c cellOut
+		fam, n := fams[i/len(sizes)], sizes[i%len(sizes)]
+		g := fam.gen(n, cellSeed(seed, i))
+		rt, err := tree.BFSTree(g, 0)
+		if err != nil {
+			return c, err
 		}
+		l, err := layering.Build(rt)
+		if err != nil {
+			return c, err
+		}
+		leaves := 0
+		for v := 0; v < g.N; v++ {
+			if len(rt.Children[v]) == 0 {
+				leaves++
+			}
+		}
+		bound := 1
+		for 1<<bound < leaves {
+			bound++
+		}
+		c.rows = [][]string{{
+			fam.name, f("%d", g.N), f("%d", leaves), f("%d", l.NumLayers),
+			f("%d", bound+1), f("%d", len(l.Paths)),
+		}}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -381,29 +420,31 @@ func E6(sizes []int, seed int64) (*Table, error) {
 		Title:   "Section 3.6.1 — unweighted TAP: |aug| <= 2*MIS on G'",
 		Columns: []string{"n", "m", "aug-size", "mis-size", "ratio<=2", "opt", "vs-opt<=4"},
 	}
-	for _, n := range sizes {
+	err := runCells(t, len(sizes), func(i int) (cellOut, error) {
+		var c cellOut
+		n := sizes[i]
 		cfg := graph.GenConfig{Mode: graph.WeightUnit, MaxW: 1,
 			Rng: rand.New(rand.NewSource(seed + int64(n)))}
 		g := graph.RandomSpanningTreePlus(n, n/2, cfg)
 		if _, err := graph.Ensure2EC(g, cfg); err != nil {
-			return nil, err
+			return c, err
 		}
-		net := congest.NewNetwork(g)
+		net := newNetwork(g)
 		bfs, err := primitives.BuildBFS(net, 0)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		rt, err := mst.KruskalTree(g, 0, net)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		solver, err := tap.NewSolver(net, bfs, rt)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		res, err := solver.SolveUnweighted()
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		optStr, vsOpt := "-", "-"
 		if len(rt.NonTreeEdgeIDs()) <= 18 {
@@ -413,10 +454,15 @@ func E6(sizes []int, seed int64) (*Table, error) {
 				vsOpt = f("%.2f", float64(len(res.OrigEdges))/float64(opt))
 			}
 		}
-		t.Rows = append(t.Rows, []string{
+		c.addStats(net)
+		c.rows = [][]string{{
 			f("%d", g.N), f("%d", g.M()), f("%d", len(res.VEdges)), f("%d", res.MISSize),
 			f("%.2f", float64(len(res.VEdges))/float64(res.MISSize)), optStr, vsOpt,
-		})
+		}}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -429,39 +475,46 @@ func E7(sizes []int, seed int64) (*Table, error) {
 		Columns: []string{"n", "variant", "weight", "max-cover-Rk", "certified-ratio(G')", "rounds"},
 	}
 	eps := 0.25
-	for _, n := range sizes {
+	err := runCells(t, len(sizes), func(i int) (cellOut, error) {
+		var c cellOut
+		n := sizes[i]
 		g, err := family("random", n, seed)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		for _, variant := range []tap.Variant{tap.Cover4, tap.Cover2} {
-			net := congest.NewNetwork(g)
+			net := newNetwork(g)
 			bfs, err := primitives.BuildBFS(net, 0)
 			if err != nil {
-				return nil, err
+				return c, err
 			}
 			rt, err := mst.KruskalTree(g, 0, net)
 			if err != nil {
-				return nil, err
+				return c, err
 			}
 			solver, err := tap.NewSolver(net, bfs, rt)
 			if err != nil {
-				return nil, err
+				return c, err
 			}
 			res, err := solver.SolveWeighted(eps, variant)
 			if err != nil {
-				return nil, err
+				return c, err
 			}
 			ratio := 0.0
 			if res.DualLB > 0 {
 				ratio = float64(res.VirtWeight) / res.DualLB
 			}
-			t.Rows = append(t.Rows, []string{
+			c.addStats(net)
+			c.rows = append(c.rows, []string{
 				f("%d", n), variant.String(), f("%d", res.Weight),
 				f("%d", res.MaxCoverRk), f("%.3f", ratio),
 				f("%d", net.Stats().TotalRounds()),
 			})
 		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -473,52 +526,58 @@ func E8(count int, seed int64) (*Table, error) {
 		Title:   "Baselines — ours vs greedy vs Khuller-Thurimella vs exact (TAP)",
 		Columns: []string{"instance", "n", "opt", "ours", "greedy", "kt", "ours/opt", "greedy/opt", "kt/opt"},
 	}
-	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < count; i++ {
+	err := runCells(t, count, func(i int) (cellOut, error) {
+		var c cellOut
+		rng := rand.New(rand.NewSource(cellSeed(seed, i)))
 		cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 200, Rng: rng}
 		g := graph.RandomSpanningTreePlus(9+rng.Intn(6), 4+rng.Intn(4), cfg)
 		if _, err := graph.Ensure2EC(g, cfg); err != nil {
-			return nil, err
+			return c, err
 		}
-		net := congest.NewNetwork(g)
+		net := newNetwork(g)
 		bfs, err := primitives.BuildBFS(net, 0)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		rt, err := mst.KruskalTree(g, 0, net)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		if len(rt.NonTreeEdgeIDs()) > 16 {
-			continue
+			return c, nil // no exact optimum in reach; skip this instance
 		}
 		opt, _, err := baseline.BruteForceTAP(rt, 16)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		solver, err := tap.NewSolver(net, bfs, rt)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		res, err := solver.SolveWeighted(0.25, tap.Cover2)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		gw, _, err := baseline.GreedyTAP(rt)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		kw, _, _, err := baseline.KhullerThurimella(rt)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
-		t.Rows = append(t.Rows, []string{
+		c.addStats(net)
+		c.rows = [][]string{{
 			f("random-%d", i), f("%d", g.N), f("%d", opt), f("%d", res.Weight),
 			f("%d", gw), f("%d", kw),
 			f("%.3f", float64(res.Weight)/float64(opt)),
 			f("%.3f", float64(gw)/float64(opt)),
 			f("%.3f", float64(kw)/float64(opt)),
-		})
+		}}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -570,13 +629,15 @@ func E10(sizes []int, seed int64) (*Table, error) {
 		Title:   "Lemma 4.18 — max coverage of R_k edges (<=2 improved, <=4 basic)",
 		Columns: []string{"n", "cover2-max", "cover4-max", "cover2-ok", "cover4-ok"},
 	}
-	for _, n := range sizes {
+	err := runCells(t, len(sizes), func(i int) (cellOut, error) {
+		var c cellOut
+		n := sizes[i]
 		g, err := family("random", n, seed+int64(n))
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		maxOf := func(variant tap.Variant) (int, error) {
-			net := congest.NewNetwork(g)
+			net := newNetwork(g)
 			bfs, err := primitives.BuildBFS(net, 0)
 			if err != nil {
 				return 0, err
@@ -593,19 +654,24 @@ func E10(sizes []int, seed int64) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
+			c.addStats(net)
 			return res.MaxCoverRk, nil
 		}
 		c2, err := maxOf(tap.Cover2)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		c4, err := maxOf(tap.Cover4)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
-		t.Rows = append(t.Rows, []string{
+		c.rows = [][]string{{
 			f("%d", n), f("%d", c2), f("%d", c4), f("%v", c2 <= 2), f("%v", c4 <= 4),
-		})
+		}}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -617,33 +683,39 @@ func E11(sizes []int, seed int64) (*Table, error) {
 		Title:   "Theorems 5.1-5.3 — tree tools over shortcuts",
 		Columns: []string{"family", "n", "hierarchy-levels", "max-alpha+beta", "rounds"},
 	}
-	for _, fam := range []string{"treeleafcycle", "grid"} {
-		for _, n := range sizes {
-			g, err := family(fam, n, seed)
-			if err != nil {
-				return nil, err
-			}
-			net := congest.NewNetwork(g)
-			bfs, err := primitives.BuildBFS(net, 0)
-			if err != nil {
-				return nil, err
-			}
-			rt, err := mst.KruskalTree(g, 0, net)
-			if err != nil {
-				return nil, err
-			}
-			tl, err := shortcuts.NewTools(net, rt, &shortcuts.SteinerBuilder{G: g, BFS: bfs})
-			if err != nil {
-				return nil, err
-			}
-			if _, err := tl.HeavyLightLabels(); err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				fam, f("%d", g.N), f("%d", tl.H.Depth()), f("%d", tl.MaxQuality),
-				f("%d", net.Stats().TotalRounds()),
-			})
+	fams := []string{"treeleafcycle", "grid"}
+	err := runCells(t, len(fams)*len(sizes), func(i int) (cellOut, error) {
+		var c cellOut
+		fam, n := fams[i/len(sizes)], sizes[i%len(sizes)]
+		g, err := family(fam, n, seed)
+		if err != nil {
+			return c, err
 		}
+		net := newNetwork(g)
+		bfs, err := primitives.BuildBFS(net, 0)
+		if err != nil {
+			return c, err
+		}
+		rt, err := mst.KruskalTree(g, 0, net)
+		if err != nil {
+			return c, err
+		}
+		tl, err := shortcuts.NewTools(net, rt, &shortcuts.SteinerBuilder{G: g, BFS: bfs})
+		if err != nil {
+			return c, err
+		}
+		if _, err := tl.HeavyLightLabels(); err != nil {
+			return c, err
+		}
+		c.addStats(net)
+		c.rows = [][]string{{
+			fam, f("%d", g.N), f("%d", tl.H.Depth()), f("%d", tl.MaxQuality),
+			f("%d", net.Stats().TotalRounds()),
+		}}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -655,22 +727,23 @@ func E12(trials int, n int, seed int64) (*Table, error) {
 		Title:   "Lemmas 5.4-5.5 — XOR coverage detection and cover counting",
 		Columns: []string{"trial", "n", "tree-edges", "detector-errors", "count-errors"},
 	}
-	rng := rand.New(rand.NewSource(seed))
-	for trial := 0; trial < trials; trial++ {
+	err := runCells(t, trials, func(trial int) (cellOut, error) {
+		var c cellOut
+		rng := rand.New(rand.NewSource(cellSeed(seed, trial)))
 		cfg := graph.GenConfig{Mode: graph.WeightUniform, MaxW: 50, Rng: rng}
 		g := graph.RandomSpanningTreePlus(n, n, cfg)
-		net := congest.NewNetwork(g)
+		net := newNetwork(g)
 		bfs, err := primitives.BuildBFS(net, 0)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		rt, err := tree.BFSTree(g, 0)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		tl, err := shortcuts.NewTools(net, rt, &shortcuts.SteinerBuilder{G: g, BFS: bfs})
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		s := map[int]bool{}
 		for _, id := range rt.NonTreeEdgeIDs() {
@@ -680,22 +753,22 @@ func E12(trials int, n int, seed int64) (*Table, error) {
 		}
 		det, err := tl.CoveredDetection(s, rng)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		detErr := 0
-		for c := 0; c < g.N; c++ {
-			if c == rt.Root {
+		for cv := 0; cv < g.N; cv++ {
+			if cv == rt.Root {
 				continue
 			}
 			want := false
 			for id := range s {
 				e := g.Edges[id]
-				if rt.Covers(e.U, e.V, c) {
+				if rt.Covers(e.U, e.V, cv) {
 					want = true
 					break
 				}
 			}
-			if det[c] != want {
+			if det[cv] != want {
 				detErr++
 			}
 		}
@@ -705,14 +778,14 @@ func E12(trials int, n int, seed int64) (*Table, error) {
 		}
 		counts, err := tl.CoverCount(marked)
 		if err != nil {
-			return nil, err
+			return c, err
 		}
 		cntErr := 0
 		for _, id := range rt.NonTreeEdgeIDs() {
 			e := g.Edges[id]
 			want := 0
-			for c := 0; c < g.N; c++ {
-				if c != rt.Root && marked[c] && rt.Covers(e.U, e.V, c) {
+			for cv := 0; cv < g.N; cv++ {
+				if cv != rt.Root && marked[cv] && rt.Covers(e.U, e.V, cv) {
 					want++
 				}
 			}
@@ -720,59 +793,39 @@ func E12(trials int, n int, seed int64) (*Table, error) {
 				cntErr++
 			}
 		}
-		t.Rows = append(t.Rows, []string{
+		c.addStats(net)
+		c.rows = [][]string{{
 			f("%d", trial), f("%d", g.N), f("%d", g.N-1), f("%d", detErr), f("%d", cntErr),
-		})
+		}}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
-// All runs every experiment with moderate default sizes.
-func All(seed int64) ([]*Table, error) {
-	var tables []*Table
-	add := func(t *Table, err error) error {
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-		return nil
+// Spec names one experiment together with its default-size runner;
+// cmd/bench iterates this registry.
+type Spec struct {
+	ID  string
+	Run func(seed int64) (*Table, error)
+}
+
+// Specs returns the registry of all experiments with moderate default sizes.
+func Specs() []Spec {
+	return []Spec{
+		{"E1", func(s int64) (*Table, error) { return E1([]int{64, 128, 256}, s) }},
+		{"E2", func(s int64) (*Table, error) { return E2([]int{40, 80, 160}, s) }},
+		{"E3", func(s int64) (*Table, error) { return E3([]int{64, 128, 256, 512}, s) }},
+		{"E4", func(s int64) (*Table, error) { return E4([]int{63, 127}, s) }},
+		{"E5", func(s int64) (*Table, error) { return E5([]int{64, 256, 1024}, s) }},
+		{"E6", func(s int64) (*Table, error) { return E6([]int{32, 64, 128}, s) }},
+		{"E7", func(s int64) (*Table, error) { return E7([]int{48, 96}, s) }},
+		{"E8", func(s int64) (*Table, error) { return E8(8, s) }},
+		{"E9", func(s int64) (*Table, error) { return E9(300, s) }},
+		{"E10", func(s int64) (*Table, error) { return E10([]int{40, 80, 160}, s) }},
+		{"E11", func(s int64) (*Table, error) { return E11([]int{63, 127}, s) }},
+		{"E12", func(s int64) (*Table, error) { return E12(4, 60, s) }},
 	}
-	if err := add(E1([]int{64, 128, 256}, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E2([]int{40, 80, 160}, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E3([]int{64, 128, 256, 512}, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E4([]int{63, 127}, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E5([]int{64, 256, 1024}, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E6([]int{32, 64, 128}, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E7([]int{48, 96}, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E8(8, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E9(300, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E10([]int{40, 80, 160}, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E11([]int{63, 127}, seed)); err != nil {
-		return nil, err
-	}
-	if err := add(E12(4, 60, seed)); err != nil {
-		return nil, err
-	}
-	sort.SliceStable(tables, func(i, j int) bool { return tables[i].ID < tables[j].ID })
-	return tables, nil
 }

@@ -130,18 +130,32 @@ var ErrDisconnected = errors.New("graph: graph is not connected")
 // where parentEdge[v] is the edge id used to reach v (-1 for src and for
 // unreachable vertices) and dist[v] is the hop distance (-1 if unreachable).
 func (g *Graph) BFS(src int) (parentEdge, dist []int) {
-	parentEdge = make([]int, g.N)
-	dist = make([]int, g.N)
+	return g.BFSInto(src, &BFSScratch{})
+}
+
+// BFSScratch holds reusable buffers for repeated BFS passes (Diameter runs
+// one per vertex). The zero value is ready to use.
+type BFSScratch struct {
+	parentEdge, dist, queue []int
+}
+
+// BFSInto is BFS with buffers taken from s. The returned slices are owned
+// by s and are only valid until the next call with the same scratch.
+func (g *Graph) BFSInto(src int, s *BFSScratch) (parentEdge, dist []int) {
+	if cap(s.parentEdge) < g.N {
+		s.parentEdge = make([]int, g.N)
+		s.dist = make([]int, g.N)
+		s.queue = make([]int, 0, g.N)
+	}
+	parentEdge, dist = s.parentEdge[:g.N], s.dist[:g.N]
 	for i := range dist {
 		dist[i] = -1
 		parentEdge[i] = -1
 	}
 	dist[src] = 0
-	queue := make([]int, 0, g.N)
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	queue := append(s.queue[:0], src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, id := range g.adj[v] {
 			u := g.Edges[id].Other(v)
 			if dist[u] < 0 {
@@ -151,6 +165,7 @@ func (g *Graph) BFS(src int) (parentEdge, dist []int) {
 			}
 		}
 	}
+	s.queue = queue[:0]
 	return parentEdge, dist
 }
 
@@ -172,7 +187,11 @@ func (g *Graph) Connected() bool {
 // Eccentricity returns the maximum hop distance from src, or an error if g
 // is disconnected.
 func (g *Graph) Eccentricity(src int) (int, error) {
-	_, dist := g.BFS(src)
+	return g.eccentricityInto(src, &BFSScratch{})
+}
+
+func (g *Graph) eccentricityInto(src int, s *BFSScratch) (int, error) {
+	_, dist := g.BFSInto(src, s)
 	ecc := 0
 	for _, d := range dist {
 		if d < 0 {
@@ -186,14 +205,16 @@ func (g *Graph) Eccentricity(src int) (int, error) {
 }
 
 // Diameter computes the exact hop diameter by running a BFS from every
-// vertex. Intended for instance preparation, not for inner loops.
+// vertex, reusing one scratch across all passes. Intended for instance
+// preparation, not for inner loops.
 func (g *Graph) Diameter() (int, error) {
 	if g.N == 0 {
 		return 0, nil
 	}
+	var s BFSScratch
 	diam := 0
 	for v := 0; v < g.N; v++ {
-		ecc, err := g.Eccentricity(v)
+		ecc, err := g.eccentricityInto(v, &s)
 		if err != nil {
 			return 0, err
 		}
@@ -210,7 +231,8 @@ func (g *Graph) DiameterApprox() (int, error) {
 	if g.N == 0 {
 		return 0, nil
 	}
-	_, dist := g.BFS(0)
+	var s BFSScratch
+	_, dist := g.BFSInto(0, &s)
 	far, best := 0, -1
 	for v, d := range dist {
 		if d < 0 {
@@ -220,11 +242,8 @@ func (g *Graph) DiameterApprox() (int, error) {
 			best, far = d, v
 		}
 	}
-	ecc, err := g.Eccentricity(far)
-	if err != nil {
-		return 0, err
-	}
-	return ecc, nil
+	// dist aliases the scratch, so take what we need before the next pass.
+	return g.eccentricityInto(far, &s)
 }
 
 // Bridges returns the ids of all bridge edges of g (edges whose removal

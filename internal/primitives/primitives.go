@@ -54,12 +54,12 @@ func BuildBFS(net *congest.Network, root int) (*tree.Rooted, error) {
 		}
 		if justJoined[v] {
 			justJoined[v] = false
-			out := make([]congest.Msg, 0, g.Degree(v))
+			out := net.OutBuf(v)
 			for _, id := range g.Incident(v) {
 				if id == parentEdge[v] {
 					continue
 				}
-				out = append(out, congest.Msg{EdgeID: id, From: v, Data: []congest.Word{1}})
+				out = append(out, congest.Msg{EdgeID: id, From: v, Data: exploreData})
 			}
 			return out, false
 		}
@@ -70,6 +70,10 @@ func BuildBFS(net *congest.Network, root int) (*tree.Rooted, error) {
 	}
 	return tree.NewFromParentEdges(g, root, parentEdge)
 }
+
+// exploreData is the constant one-word payload of BFS explore messages.
+// It is shared across all senders; receivers never mutate payloads.
+var exploreData = []congest.Word{1}
 
 // Item is a fixed-arity tuple of words moved by the pipelined primitives.
 // One Item fits one CONGEST message (a constant number of O(log n)-bit
@@ -129,8 +133,8 @@ func Gather(net *congest.Network, t *tree.Rooted, perNode [][]Item) ([]Item, err
 		}
 		it := queue[v][0]
 		queue[v] = queue[v][1:]
-		msg := congest.Msg{EdgeID: tl.parentEdge[v], From: v, Data: it}
-		return []congest.Msg{msg}, len(queue[v]) > 0
+		out := append(net.OutBuf(v), congest.Msg{EdgeID: tl.parentEdge[v], From: v, Data: it})
+		return out, len(queue[v]) > 0
 	}
 	total := 0
 	for _, its := range perNode {
@@ -166,7 +170,7 @@ func Broadcast(net *congest.Network, t *tree.Rooted, items []Item) ([][]Item, er
 		}
 		it := pending[v][0]
 		pending[v] = pending[v][1:]
-		out := make([]congest.Msg, 0, len(tl.childEdges[v]))
+		out := net.OutBuf(v)
 		for _, id := range tl.childEdges[v] {
 			out = append(out, congest.Msg{EdgeID: id, From: v, Data: it})
 		}
@@ -207,6 +211,10 @@ func SubtreeAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, op
 		needed[v] = len(tl.childEdges[v])
 	}
 	reported := make([]bool, g.N)
+	// Each node sends its aggregate exactly once per run, so one shared
+	// backing array provides every node's one-word payload without
+	// per-message allocation.
+	sendBuf := make([]congest.Word, g.N)
 
 	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
 		for _, m := range inbox {
@@ -216,8 +224,9 @@ func SubtreeAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, op
 		if needed[v] == 0 && !reported[v] {
 			reported[v] = true
 			if tl.parentEdge[v] >= 0 {
-				msg := congest.Msg{EdgeID: tl.parentEdge[v], From: v, Data: []congest.Word{acc[v]}}
-				return []congest.Msg{msg}, false
+				sendBuf[v] = acc[v]
+				msg := congest.Msg{EdgeID: tl.parentEdge[v], From: v, Data: sendBuf[v : v+1 : v+1]}
+				return append(net.OutBuf(v), msg), false
 			}
 		}
 		return nil, false
@@ -241,6 +250,9 @@ func RootPathAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, o
 	sent := make([]bool, g.N)
 	have := make([]bool, g.N)
 	have[t.Root] = true
+	// One shared backing array for the one-shot per-node payloads, as in
+	// SubtreeAggregate.
+	sendBuf := make([]congest.Word, g.N)
 
 	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
 		for _, m := range inbox {
@@ -249,9 +261,10 @@ func RootPathAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, o
 		}
 		if have[v] && !sent[v] {
 			sent[v] = true
-			out := make([]congest.Msg, 0, len(tl.childEdges[v]))
+			sendBuf[v] = acc[v]
+			out := net.OutBuf(v)
 			for _, id := range tl.childEdges[v] {
-				out = append(out, congest.Msg{EdgeID: id, From: v, Data: []congest.Word{acc[v]}})
+				out = append(out, congest.Msg{EdgeID: id, From: v, Data: sendBuf[v : v+1 : v+1]})
 			}
 			return out, false
 		}
