@@ -24,10 +24,11 @@ func main() {
 	}
 	mstW := g.TotalWeight(mstIDs)
 
-	res, _, err := ecss.Solve(g, ecss.DefaultOptions())
+	res, net, err := ecss.Solve(g, ecss.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
+	net.Close()
 	if err := ecss.Verify(g, res); err != nil {
 		log.Fatal(err)
 	}

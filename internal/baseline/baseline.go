@@ -17,7 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"twoecss/internal/graph"
 	"twoecss/internal/tree"
@@ -76,7 +76,7 @@ func ExactPathTAP(n int, intervals []Interval) (int64, []int, error) {
 	for p := n - 1; p > 0; p = from[p] {
 		picks = append(picks, choice[p])
 	}
-	sort.Ints(picks)
+	slices.Sort(picks)
 	return dist[n-1], picks, nil
 }
 
@@ -230,6 +230,6 @@ func GreedyTAP(t *tree.Rooted) (int64, []int, error) {
 			}
 		}
 	}
-	sort.Ints(picks)
+	slices.Sort(picks)
 	return total, picks, nil
 }

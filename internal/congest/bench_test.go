@@ -18,6 +18,7 @@ var floodPayload = []Word{7}
 func benchFlood(b *testing.B, workers int) {
 	g := graph.Grid(64, 64, graph.DefaultGenConfig(1))
 	net := NewNetwork(g)
+	defer net.Close()
 	net.Workers = workers
 	seen := make([]bool, g.N)
 	fresh := make([]bool, g.N)
@@ -74,6 +75,7 @@ func BenchmarkRelayRing(b *testing.B) {
 		g.MustAddEdge(v, (v+1)%n, 1)
 	}
 	net := NewNetwork(g)
+	defer net.Close()
 	net.Workers = 1
 	hops := 0
 	out := make([]Msg, 0, 1)

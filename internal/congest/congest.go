@@ -16,10 +16,17 @@
 // those the engine provides Charge, an analytic round bill recorded
 // separately from simulated rounds. DESIGN.md lists which component uses
 // which channel.
+//
+// Lifecycle: a Network that executed parallel rounds owns a persistent
+// worker pool reused across Run calls. Call Network.Close when done with a
+// Network to release the pool goroutines deterministically; a GC cleanup
+// reclaims the pool of a Network dropped without Close. Networks with
+// Workers == 1 never spawn a pool and need no Close.
 package congest
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync/atomic"
 
@@ -93,12 +100,29 @@ type Network struct {
 	mark    Stats // stats snapshot at the start of the current phase
 	cur     string
 	sc      *scratch    // engine buffers, recycled across Run calls
+	pool    *pool       // persistent worker pool; see Close
 	running atomic.Bool // guards re-entrant/concurrent Run on shared scratch
 }
 
 // NewNetwork returns a network over g with the default eight-word budget.
+// A Network whose Runs executed parallel rounds owns a worker pool that
+// persists across Run calls; call Close when done with the Network to
+// release it (a GC cleanup eventually reclaims the pool of a Network
+// dropped without Close, but explicit Close is deterministic).
 func NewNetwork(g *graph.Graph) *Network {
 	return &Network{G: g, WordsPerEdge: 8, Workers: runtime.GOMAXPROCS(0)}
+}
+
+// Close releases the Network's persistent worker-pool goroutines. It is
+// idempotent and a no-op for networks that never ran a parallel round; it
+// must not be called concurrently with Run. The Network must not be used
+// after Close (a later Run would spawn a fresh pool, which works but
+// defeats the point).
+func (n *Network) Close() {
+	if n.pool != nil {
+		n.pool.close()
+		n.pool = nil
+	}
 }
 
 // Stats returns a copy of the accumulated statistics.
@@ -173,15 +197,29 @@ func LayeringRounds(n, diam int) int64 {
 	return (int64(diam) + isqrt(n)) * ilog2(n)
 }
 
+// isqrt returns the smallest x with x*x >= n (the ceiling square root the
+// analytic round bills use), via an integer Newton iteration seeded from
+// the bit length — O(log log n) steps instead of the O(sqrt n) counting
+// loop it replaces. Exact for the full int range (no float rounding).
 func isqrt(n int) int64 {
 	if n <= 0 {
 		return 0
 	}
-	x := int64(1)
-	for x*x < int64(n) {
-		x++
+	x := int64(n)
+	// Seed with a power of two >= floor(sqrt(x)): 2^ceil(bits/2).
+	r := int64(1) << ((bits.Len64(uint64(x)) + 1) / 2)
+	for {
+		nr := (r + x/r) / 2
+		if nr >= r {
+			break
+		}
+		r = nr
 	}
-	return x
+	// r = floor(sqrt(x)); round up to the ceiling square root.
+	if r*r < x {
+		r++
+	}
+	return r
 }
 
 func ilog2(n int) int64 {

@@ -141,6 +141,7 @@ func TestParallelDeterminism(t *testing.T) {
 	run := func(workers int) Stats {
 		g := graph.Grid(12, 12, graph.DefaultGenConfig(3))
 		net := NewNetwork(g)
+		defer net.Close()
 		net.Workers = workers
 		seen := make([]bool, g.N)
 		seen[0] = true
@@ -182,6 +183,7 @@ func TestShardedDeliveryDeterminism(t *testing.T) {
 	run := func(workers int) (Stats, []int64) {
 		g := graph.RandomSpanningTreePlus(300, 600, graph.DefaultGenConfig(7))
 		net := NewNetwork(g)
+		defer net.Close()
 		net.Workers = workers
 		state := make([]int64, g.N)
 		left := make([]int, g.N)
@@ -265,6 +267,7 @@ func TestParallelErrorDeterminism(t *testing.T) {
 		for i, workers := range []int{1, 8} {
 			g := pathGraph(n)
 			net := NewNetwork(g)
+			defer net.Close()
 			net.Workers = workers
 			handler := func(v int, inbox []Msg) ([]Msg, bool) {
 				if v == tc.badat[0] || v == tc.badat[1] {

@@ -14,14 +14,20 @@ package congest
 //     recycled outbox envelopes via Network.OutBuf. In steady state a round
 //     performs zero engine-side allocations.
 //   - Sharded delivery: both handler execution and message routing run on a
-//     small worker pool spawned per Run. Delivery is sharded by receiver, so
-//     every inbox is filled by exactly one worker scanning senders in
-//     ascending order — results are bit-identical for any worker count.
+//     small worker pool owned by the Network, spawned lazily on the first
+//     parallel round and reused across Run calls (see Network.Close for the
+//     lifecycle). Delivery is sharded by receiver, so every inbox is filled
+//     by exactly one worker scanning senders in ascending order — results
+//     are bit-identical for any worker count.
+//   - Flat adjacency: incidence validation and routing read the graph's CSR
+//     endpoint arrays (graph.Endpoints), 8 bytes per message instead of a
+//     24-byte Edge struct load.
 
 import (
 	"fmt"
 	"runtime"
 	"slices"
+	"sync"
 )
 
 // parallelSchedMin and parallelMsgsPerWorker gate the parallel paths: below
@@ -119,18 +125,82 @@ func msgCmp(a, b Msg) int {
 	return a.EdgeID - b.EdgeID
 }
 
-// engine is the per-Run execution state: the handler, the worker pool, and
-// pointers to the Network's persistent scratch.
+// engine is the per-Run execution state: the handler, flat edge-endpoint
+// views, and pointers to the Network's persistent scratch.
 type engine struct {
 	net     *Network
 	sc      *scratch
 	handler Handler
 	W       int // pool size (including the main goroutine as worker 0)
+	// us/vs are the graph's flat endpoint arrays (graph.Endpoints): the
+	// validation and routing loops touch 8 bytes per message instead of a
+	// 24-byte Edge struct.
+	us, vs []int32
+}
 
-	// pool state; workers are spawned lazily on the first parallel round.
-	started bool
-	start   []chan int8 // per-worker phase trigger (1=handlers, 2=route)
-	done    chan struct{}
+// pool is the persistent worker pool of one Network. It is spawned lazily
+// on the first parallel round and survives across Run calls (reusing the
+// parked goroutines instead of respawning W-1 goroutines per Run); it is
+// torn down by Network.Close, or by a GC cleanup if the owning Network is
+// dropped without Close. Worker w parks on start[w]; the main goroutine
+// works as worker 0. Channel operations carry no payload, so a round's
+// dispatch performs no allocation.
+type pool struct {
+	W     int
+	start []chan int8 // per-worker phase trigger (1=handlers, 2=route)
+	done  chan struct{}
+	// cur is the engine of the Run being dispatched. It is set before the
+	// trigger sends and cleared at the barrier, so a parked pool holds no
+	// reference to any Network (letting the GC cleanup fire).
+	cur  *engine
+	stop sync.Once
+}
+
+func newPool(W int) *pool {
+	p := &pool{W: W, start: make([]chan int8, W), done: make(chan struct{}, W)}
+	for w := 1; w < W; w++ {
+		p.start[w] = make(chan int8)
+		go func(w int) {
+			for ph := range p.start[w] {
+				e := p.cur
+				if ph == 1 {
+					e.runHandlers(w, W)
+				} else {
+					e.route(w, W)
+				}
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+	return p
+}
+
+// dispatch fans one phase out over the pool and blocks until every worker
+// has finished it.
+func (p *pool) dispatch(e *engine, phase int8) {
+	p.cur = e
+	for w := 1; w < p.W; w++ {
+		p.start[w] <- phase
+	}
+	if phase == 1 {
+		e.runHandlers(0, p.W)
+	} else {
+		e.route(0, p.W)
+	}
+	for w := 1; w < p.W; w++ {
+		<-p.done
+	}
+	p.cur = nil
+}
+
+// close releases the pool goroutines. Idempotent; must not race with a Run
+// on the owning Network.
+func (p *pool) close() {
+	p.stop.Do(func() {
+		for w := 1; w < p.W; w++ {
+			close(p.start[w])
+		}
+	})
 }
 
 // Run executes the given handler to quiescence: it stops when no messages
@@ -157,6 +227,13 @@ func (n *Network) Run(handler Handler, start []int, maxRounds int64) error {
 	}
 	sc := n.sc
 	sc.ensure(g.N, g.M(), workers)
+	// A worker-count change (n.Workers edited between Runs) retires the old
+	// pool; the next parallel round spawns one of the right size.
+	if n.pool != nil && n.pool.W != workers {
+		n.pool.close()
+		n.pool = nil
+	}
+	us, vs := g.Endpoints() // also forces the CSR build pre-fan-out
 
 	// Reset per-Run state. A previous errored Run may have left stale
 	// inboxes or worklist flags behind.
@@ -188,8 +265,7 @@ func (n *Network) Run(handler Handler, start []int, maxRounds int64) error {
 		slices.Sort(sc.next)
 	}
 
-	e := &engine{net: n, sc: sc, handler: handler, W: workers}
-	defer e.shutdown()
+	e := &engine{net: n, sc: sc, handler: handler, W: workers, us: us, vs: vs}
 
 	for round := int64(0); ; round++ {
 		sc.sched, sc.next = sc.next, sc.sched[:0]
@@ -255,10 +331,21 @@ func (n *Network) Run(handler Handler, start []int, maxRounds int64) error {
 // runPhase executes one phase, parallel if the pool is big enough and the
 // caller's size gate says the work amortizes the barrier. It returns the
 // number of worker slots the phase wrote to, so the merge loop and the
-// execution path can never disagree.
+// execution path can never disagree. The Network's persistent pool is
+// spawned lazily on the first parallel round and reused by later Runs; see
+// Network.Close for the teardown contract.
 func (e *engine) runPhase(phase int8, parallel bool) int {
 	if e.W > 1 && parallel {
-		e.dispatch(phase)
+		n := e.net
+		if n.pool == nil {
+			n.pool = newPool(e.W)
+			// Backstop for Networks dropped without Close: once the Network
+			// is unreachable no Run can be active, so closing the parked
+			// pool is safe. The pool never points back at the Network while
+			// parked (dispatch clears cur), so the cleanup can fire.
+			runtime.AddCleanup(n, func(p *pool) { p.close() }, n.pool)
+		}
+		n.pool.dispatch(e, phase)
 		return e.W
 	}
 	if phase == 1 {
@@ -267,54 +354,6 @@ func (e *engine) runPhase(phase int8, parallel bool) int {
 		e.route(0, 1)
 	}
 	return 1
-}
-
-// dispatch fans a phase out over the pool; the main goroutine works as
-// worker 0. Channel operations carry no payload, so a round's dispatch
-// performs no allocation. The pool is spawned lazily on the first parallel
-// round and lives for the duration of one Run: persisting it across Runs
-// would save W-1 goroutine spawns per parallel Run, but a Network has no
-// Close, so pool goroutines parked on their trigger channels would leak for
-// every abandoned Network (see ROADMAP).
-func (e *engine) dispatch(phase int8) {
-	if !e.started {
-		e.started = true
-		e.start = make([]chan int8, e.W)
-		e.done = make(chan struct{}, e.W)
-		for w := 1; w < e.W; w++ {
-			e.start[w] = make(chan int8)
-			go func(w int) {
-				for ph := range e.start[w] {
-					if ph == 1 {
-						e.runHandlers(w, e.W)
-					} else {
-						e.route(w, e.W)
-					}
-					e.done <- struct{}{}
-				}
-			}(w)
-		}
-	}
-	for w := 1; w < e.W; w++ {
-		e.start[w] <- phase
-	}
-	if phase == 1 {
-		e.runHandlers(0, e.W)
-	} else {
-		e.route(0, e.W)
-	}
-	for w := 1; w < e.W; w++ {
-		<-e.done
-	}
-}
-
-func (e *engine) shutdown() {
-	if !e.started {
-		return
-	}
-	for w := 1; w < e.W; w++ {
-		close(e.start[w])
-	}
 }
 
 // runHandlers executes worker w's contiguous share of the schedule: the
@@ -351,6 +390,7 @@ func (e *engine) runHandlers(w, W int) {
 				sc.outBufs[v] = out
 			}
 		}
+		v32 := int32(v)
 		for i := range out {
 			m := &out[i]
 			if m.From != v {
@@ -361,11 +401,10 @@ func (e *engine) runHandlers(w, W int) {
 				ws.recordVal(fmt.Errorf("congest: node %d sent on bad edge %d", v, m.EdgeID), v, i)
 				break
 			}
-			edge := g.Edges[m.EdgeID]
 			dir := 0
-			if edge.V == v {
+			if e.vs[m.EdgeID] == v32 {
 				dir = 1
-			} else if edge.U != v {
+			} else if e.us[m.EdgeID] != v32 {
 				ws.recordVal(fmt.Errorf("congest: node %d sent on non-incident edge %d", v, m.EdgeID), v, i)
 				break
 			}
@@ -441,9 +480,13 @@ func (e *engine) route(w, W int) {
 	}
 	ws := &sc.workers[w]
 	recv := ws.recv
+	us, vs := e.us, e.vs
 	for _, v := range sc.sched {
+		v32 := int32(v)
 		for _, m := range sc.outboxes[v] {
-			to := g.Edges[m.EdgeID].Other(v)
+			// The far endpoint of an incident edge, branch-free: v is one
+			// of {us[id], vs[id]}, so XOR cancels it out.
+			to := int(us[m.EdgeID] ^ vs[m.EdgeID] ^ v32)
 			if to < lo || to >= hi {
 				continue
 			}

@@ -1,0 +1,176 @@
+package congest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"twoecss/internal/graph"
+)
+
+// floodHandler is a minimal handler that keeps every node active for a few
+// rounds, so a Run schedules enough nodes to cross the parallel threshold.
+func floodHandler(g *graph.Graph, rounds int) Handler {
+	left := make([]int, g.N)
+	for v := range left {
+		left[v] = rounds
+	}
+	return func(v int, inbox []Msg) ([]Msg, bool) {
+		if left[v] == 0 {
+			return nil, false
+		}
+		left[v]--
+		return nil, left[v] > 0
+	}
+}
+
+// settledGoroutines waits for the goroutine count to hold still (pool
+// goroutines released by other tests exit asynchronously) and returns it.
+func settledGoroutines(t *testing.T) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	stable := 0
+	for stable < 20 {
+		time.Sleep(time.Millisecond)
+		if got := runtime.NumGoroutine(); got == n {
+			stable++
+		} else {
+			n, stable = got, 0
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count did not settle (last %d)", n)
+		}
+	}
+	return n
+}
+
+// TestCloseReleasesPoolGoroutines is the pool-lifecycle regression test: a
+// parallel Run spawns the Network's persistent pool, a second Run reuses it
+// (no new goroutines), and Close releases every pool goroutine (checked
+// against the pre-spawn baseline with a settle loop, since goroutine exit
+// is asynchronous).
+func TestCloseReleasesPoolGoroutines(t *testing.T) {
+	g := graph.Grid(16, 16, graph.DefaultGenConfig(1))
+	base := settledGoroutines(t)
+	net := NewNetwork(g)
+	net.Workers = 4
+	if err := net.Run(floodHandler(g, 4), nil, 64); err != nil {
+		t.Fatal(err)
+	}
+	during := runtime.NumGoroutine()
+	if during != base+net.Workers-1 {
+		t.Fatalf("after parallel Run: %d goroutines, want %d (base %d + %d pool workers)",
+			during, base+net.Workers-1, base, net.Workers-1)
+	}
+	// A second Run must reuse the parked pool, not respawn it.
+	if err := net.Run(floodHandler(g, 4), nil, 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.NumGoroutine(); got != during {
+		t.Fatalf("second Run changed goroutine count: %d -> %d (pool not reused)", during, got)
+	}
+	net.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool goroutines did not exit after Close: %d > baseline %d",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Close is idempotent.
+	net.Close()
+}
+
+// TestWorkerCountChangeRetiresPool checks that editing Workers between Runs
+// swaps the pool for one of the right size without leaking the old one.
+func TestWorkerCountChangeRetiresPool(t *testing.T) {
+	g := graph.Grid(16, 16, graph.DefaultGenConfig(1))
+	base := settledGoroutines(t)
+	net := NewNetwork(g)
+	net.Workers = 4
+	if err := net.Run(floodHandler(g, 4), nil, 64); err != nil {
+		t.Fatal(err)
+	}
+	net.Workers = 2
+	if err := net.Run(floodHandler(g, 4), nil, 64); err != nil {
+		t.Fatal(err)
+	}
+	want := base + 1 // one parked worker besides the main goroutine
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > want {
+		if time.Now().After(deadline) {
+			t.Fatalf("old pool not retired: %d goroutines, want %d", runtime.NumGoroutine(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	net.Close()
+}
+
+func TestIsqrt(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 2},
+		{5, 3},
+		{8, 3},
+		{9, 3},
+		{10, 4},
+		{15, 4},
+		{16, 4},
+		{17, 5},
+		{24, 5},
+		{25, 5},
+		{26, 6},
+		{1 << 20, 1 << 10},
+		{(1 << 20) + 1, (1 << 10) + 1},
+		{(1 << 31) - 1, 46341},
+		{1 << 62, 1 << 31},
+		{(1 << 62) - 1, 1 << 31},
+		{(1 << 62) + 1, (1 << 31) + 1},
+	}
+	for _, c := range cases {
+		if got := isqrt(c.n); got != c.want {
+			t.Errorf("isqrt(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Exhaustive cross-check against the seed's counting loop on a dense
+	// small range plus the perfect squares around every power of two.
+	slow := func(n int) int64 {
+		if n <= 0 {
+			return 0
+		}
+		x := int64(1)
+		for x*x < int64(n) {
+			x++
+		}
+		return x
+	}
+	for n := 0; n <= 1<<12; n++ {
+		if got, want := isqrt(n), slow(n); got != want {
+			t.Fatalf("isqrt(%d) = %d, want %d", n, got, want)
+		}
+	}
+	for k := 1; k <= 30; k++ {
+		r := int64(1) << k
+		for _, n := range []int64{r*r - 1, r * r, r*r + 1} {
+			want := r
+			if n > r*r {
+				want = r + 1
+			}
+			if n == r*r-1 {
+				want = r
+			}
+			if got := isqrt(int(n)); got != want {
+				t.Fatalf("isqrt(%d) = %d, want %d", n, got, want)
+			}
+		}
+	}
+}

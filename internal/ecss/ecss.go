@@ -9,7 +9,7 @@ package ecss
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"twoecss/internal/congest"
 	"twoecss/internal/graph"
@@ -77,7 +77,9 @@ type Result struct {
 var ErrNot2EC = errors.New("ecss: input graph is not 2-edge-connected")
 
 // Solve runs the full pipeline of Theorem 1.1 on g and returns the solution
-// together with the network used (for round accounting inspection).
+// together with the network used (for round accounting inspection). The
+// caller owns the returned network and should Close it when done (see the
+// congest package docs on the worker-pool lifecycle).
 func Solve(g *graph.Graph, opt Options) (*Result, *congest.Network, error) {
 	if opt.Eps <= 0 {
 		return nil, nil, fmt.Errorf("ecss: eps must be positive")
@@ -149,7 +151,7 @@ func assemble(g *graph.Graph, t *tree.Rooted, tr *tap.Result) *Result {
 			res.Edges = append(res.Edges, id)
 		}
 	}
-	sort.Ints(res.Edges)
+	slices.Sort(res.Edges)
 	res.Weight = int64(g.TotalWeight(res.Edges))
 	res.LowerBound = float64(res.TreeWeight)
 	if lb := tr.DualLB / 2; lb > res.LowerBound {

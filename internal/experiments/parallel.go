@@ -25,7 +25,8 @@ var Workers = 0
 // the only parallelism here, so trajectory numbers are comparable across
 // -workers settings and nested engine pools never oversubscribe the
 // machine. Engine parallelism is measured separately by the
-// internal/congest microbenchmarks.
+// internal/congest microbenchmarks. Workers == 1 also means these
+// networks never spawn a worker pool, so no Close is needed per cell.
 func newNetwork(g *graph.Graph) *congest.Network {
 	net := congest.NewNetwork(g)
 	net.Workers = 1

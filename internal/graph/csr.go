@@ -1,0 +1,117 @@
+package graph
+
+// Compressed-sparse-row adjacency. The per-vertex edge lists in Graph.adj
+// ([][]int) cost two dependent loads per neighbor visit: the inner slice
+// header, then Edges[id] (a 24-byte struct) to resolve the far endpoint.
+// Every hot loop in the repository — BFS, bridge finding, the engine's
+// routing and incidence validation, the shortcut part scans — walks
+// neighbors, so the graph also maintains a CSR view: one flat array of
+// 8-byte (neighbor, edge id) pairs indexed by per-vertex offsets. A
+// neighbor scan is then a single contiguous stream with zero pointer
+// chasing.
+//
+// The CSR view is built lazily and invalidated by AddEdge (a dirty flag);
+// the first accessor call after a mutation rebuilds it in O(N + M). Building
+// is NOT safe to race with other accessors, so parallel consumers (Diameter,
+// the congest engine) force the build once, from a single goroutine, before
+// fanning out. Vertex and edge counts must fit in int32; the generators top
+// out far below that.
+
+// HalfEdge is one CSR incidence of a vertex v: the far endpoint of an edge
+// incident to v, and that edge's id.
+type HalfEdge struct {
+	To, ID int32
+}
+
+type csr struct {
+	// off has N+1 entries; vertex v's incidences occupy ent[off[v]:off[v+1]].
+	off []int32
+	ent []HalfEdge
+	// nbr mirrors ent's To fields: distance-only traversals (Diameter's
+	// eccentricity passes, connectivity checks) stream 4 bytes per
+	// incidence instead of 8.
+	nbr []int32
+	// us/vs are the flat endpoint arrays: us[id], vs[id] are Edges[id].U/V.
+	// Hot edge-indexed loops (engine validation, routing) use these instead
+	// of the 24-byte Edge struct, tripling cache density.
+	us, vs []int32
+}
+
+// ensureCSR (re)builds the CSR view if a mutation invalidated it.
+// Not safe to call concurrently with itself or any CSR accessor.
+func (g *Graph) ensureCSR() {
+	if !g.csrDirty {
+		return
+	}
+	g.buildCSR()
+}
+
+func (g *Graph) buildCSR() {
+	n, m := g.N, len(g.Edges)
+	c := &g.csr
+	if cap(c.off) < n+1 {
+		c.off = make([]int32, n+1)
+	}
+	c.off = c.off[:n+1]
+	for i := range c.off {
+		c.off[i] = 0
+	}
+	if cap(c.ent) < 2*m {
+		c.ent = make([]HalfEdge, 2*m)
+		c.nbr = make([]int32, 2*m)
+	}
+	c.ent, c.nbr = c.ent[:2*m], c.nbr[:2*m]
+	if cap(c.us) < m {
+		c.us = make([]int32, m)
+		c.vs = make([]int32, m)
+	}
+	c.us, c.vs = c.us[:m], c.vs[:m]
+	// Counting sort by endpoint. Iterating edges in id order reproduces the
+	// adjacency order of AddEdge exactly: per vertex, incident edge ids
+	// appear in increasing id order, which is the order they were appended
+	// to adj. TestCSRMatchesAdjacency pins this equivalence.
+	for id, e := range g.Edges {
+		c.us[id], c.vs[id] = int32(e.U), int32(e.V)
+		c.off[e.U+1]++
+		c.off[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		c.off[v+1] += c.off[v]
+	}
+	// cur[v] = next free slot for v.
+	cur := append([]int32(nil), c.off[:n]...)
+	for id, e := range g.Edges {
+		c.ent[cur[e.U]] = HalfEdge{To: int32(e.V), ID: int32(id)}
+		c.nbr[cur[e.U]] = int32(e.V)
+		cur[e.U]++
+		c.ent[cur[e.V]] = HalfEdge{To: int32(e.U), ID: int32(id)}
+		c.nbr[cur[e.V]] = int32(e.U)
+		cur[e.V]++
+	}
+	g.csrDirty = false
+}
+
+// Row returns vertex v's CSR incidence row, in the same order as
+// Incident(v): Row(v)[i].ID == Incident(v)[i] and Row(v)[i].To is the far
+// endpoint. The slice aliases the graph's CSR arrays: it is invalidated by
+// AddEdge and must not be mutated.
+func (g *Graph) Row(v int) []HalfEdge {
+	g.ensureCSR()
+	return g.csr.ent[g.csr.off[v]:g.csr.off[v+1]]
+}
+
+// CSRView returns the raw CSR arrays for loops that want to iterate rows
+// without per-vertex accessor calls: vertex v's incidences are
+// ent[off[v]:off[v+1]]. Same aliasing and invalidation rules as Row.
+func (g *Graph) CSRView() (off []int32, ent []HalfEdge) {
+	g.ensureCSR()
+	return g.csr.off, g.csr.ent
+}
+
+// Endpoints returns the flat edge-endpoint arrays: us[id] and vs[id] are the
+// two endpoints of edge id (Edges[id].U and .V). Same aliasing and
+// invalidation rules as Row.
+func (g *Graph) Endpoints() (us, vs []int32) {
+	g.ensureCSR()
+	return g.csr.us, g.csr.vs
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomMultigraph builds a connected-ish random multigraph with parallel
+// edges (AddEdge permits them; algorithms must tolerate multiplicity).
+func randomMultigraph(n, m int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v, Weight(1+rng.Intn(9)))
+	}
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.MustAddEdge(u, v, Weight(1+rng.Intn(9)))
+	}
+	return g
+}
+
+// TestCSRMatchesAdjacency is the property test pinning the CSR contract:
+// for every vertex, AdjRow yields exactly the edge ids of Incident and the
+// neighbor vertices of Neighbors, in the same order, on random multigraphs —
+// including after incremental AddEdge mutations (lazy rebuild).
+func TestCSRMatchesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(60)
+		g := randomMultigraph(n, rng.Intn(3*n), rng)
+		checkCSR(t, g)
+		// Mutate after the CSR was built: the dirty flag must trigger a
+		// rebuild that again matches the legacy adjacency.
+		for i := 0; i < 5; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.MustAddEdge(u, v, 1)
+			}
+		}
+		checkCSR(t, g)
+	}
+}
+
+func checkCSR(t *testing.T, g *Graph) {
+	t.Helper()
+	us, vs := g.Endpoints()
+	if len(us) != g.M() || len(vs) != g.M() {
+		t.Fatalf("endpoint arrays have length %d,%d, want %d", len(us), len(vs), g.M())
+	}
+	for id, e := range g.Edges {
+		if int(us[id]) != e.U || int(vs[id]) != e.V {
+			t.Fatalf("edge %d endpoints (%d,%d) != (%d,%d)", id, us[id], vs[id], e.U, e.V)
+		}
+	}
+	total := 0
+	for v := 0; v < g.N; v++ {
+		row := g.Row(v)
+		inc := g.Incident(v)
+		if len(row) != len(inc) {
+			t.Fatalf("vertex %d: CSR row length %d, Incident length %d", v, len(row), len(inc))
+		}
+		if g.Degree(v) != len(row) {
+			t.Fatalf("vertex %d: Degree %d != row length %d", v, g.Degree(v), len(row))
+		}
+		for i, id := range inc {
+			if int(row[i].ID) != id {
+				t.Fatalf("vertex %d pos %d: CSR edge id %d, Incident %d", v, i, row[i].ID, id)
+			}
+			if want := g.Edges[id].Other(v); int(row[i].To) != want {
+				t.Fatalf("vertex %d pos %d: CSR neighbor %d, want %d", v, i, row[i].To, want)
+			}
+		}
+		legacy := g.Neighbors(v)
+		into := g.NeighborsInto(v, nil)
+		if len(legacy) != len(into) {
+			t.Fatalf("vertex %d: Neighbors %v != NeighborsInto %v", v, legacy, into)
+		}
+		for i := range legacy {
+			if legacy[i] != into[i] {
+				t.Fatalf("vertex %d: Neighbors %v != NeighborsInto %v", v, legacy, into)
+			}
+		}
+		total += len(row)
+	}
+	if total != 2*g.M() {
+		t.Fatalf("CSR rows cover %d incidences, want %d", total, 2*g.M())
+	}
+}
+
+func TestNeighborsIntoReusesBuffer(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(0, 3, 1)
+	buf := make([]int, 0, 8)
+	out := g.NeighborsInto(0, buf)
+	if &out[:1][0] != &buf[:1][0] {
+		t.Fatalf("NeighborsInto did not reuse the provided buffer")
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if out[i] != v {
+			t.Fatalf("NeighborsInto = %v, want %v", out, want)
+		}
+	}
+}
+
+// TestDiameterParallelMatchesSequential pins that the worker-pool Diameter
+// equals the sequential per-vertex eccentricity max.
+func TestDiameterParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(80)
+		g := randomMultigraph(n, rng.Intn(2*n), rng)
+		want := 0
+		var s BFSScratch
+		for v := 0; v < g.N; v++ {
+			ecc, err := g.eccentricityInto(v, &s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ecc > want {
+				want = ecc
+			}
+		}
+		got, err := g.Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Diameter = %d, want %d", got, want)
+		}
+	}
+	// Disconnected graphs must error from the pool too.
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	if _, err := g.Diameter(); err != ErrDisconnected {
+		t.Fatalf("Diameter on disconnected graph: err = %v, want ErrDisconnected", err)
+	}
+}

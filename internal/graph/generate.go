@@ -291,18 +291,18 @@ func (g *Graph) componentWithout(skip, src int) []int {
 	seen[src] = true
 	stack := []int{src}
 	var out []int
+	off, ent := g.CSRView()
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		out = append(out, v)
-		for _, id := range g.adj[v] {
-			if id == skip {
+		for _, h := range ent[off[v]:off[v+1]] {
+			if int(h.ID) == skip {
 				continue
 			}
-			u := g.Edges[id].Other(v)
-			if !seen[u] {
-				seen[u] = true
-				stack = append(stack, u)
+			if !seen[h.To] {
+				seen[h.To] = true
+				stack = append(stack, int(h.To))
 			}
 		}
 	}

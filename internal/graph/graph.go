@@ -9,7 +9,10 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 )
 
 // Weight is the edge-weight type. The paper assumes polynomially bounded
@@ -39,11 +42,15 @@ type Graph struct {
 	Edges []Edge
 	// adj[v] lists the incident edge ids of v.
 	adj [][]int
+	// csr is the flat adjacency view (see csr.go), rebuilt lazily when
+	// csrDirty after a mutation.
+	csr      csr
+	csrDirty bool
 }
 
 // New returns an empty graph on n vertices.
 func New(n int) *Graph {
-	return &Graph{N: n, adj: make([][]int, n)}
+	return &Graph{N: n, adj: make([][]int, n), csrDirty: true}
 }
 
 // AddEdge inserts the undirected edge {u,v} with weight w and returns its id.
@@ -59,6 +66,7 @@ func (g *Graph) AddEdge(u, v int, w Weight) (int, error) {
 	g.Edges = append(g.Edges, Edge{U: u, V: v, W: w})
 	g.adj[u] = append(g.adj[u], id)
 	g.adj[v] = append(g.adj[v], id)
+	g.csrDirty = true
 	return id, nil
 }
 
@@ -83,13 +91,26 @@ func (g *Graph) Incident(v int) []int { return g.adj[v] }
 func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
 
 // Neighbors returns the neighbor vertices of v (with multiplicity for
-// parallel edges), in incident-edge order.
+// parallel edges), in incident-edge order. It allocates the result; it is a
+// convenience for call sites outside hot loops. Hot loops should use
+// NeighborsInto or walk Row/CSRView directly.
 func (g *Graph) Neighbors(v int) []int {
-	out := make([]int, 0, len(g.adj[v]))
-	for _, id := range g.adj[v] {
-		out = append(out, g.Edges[id].Other(v))
+	return g.NeighborsInto(v, nil)
+}
+
+// NeighborsInto appends the neighbor vertices of v (with multiplicity, in
+// incident-edge order) to buf[:0] and returns it, reusing buf's backing
+// array when it is large enough.
+func (g *Graph) NeighborsInto(v int, buf []int) []int {
+	row := g.Row(v)
+	buf = buf[:0]
+	if cap(buf) < len(row) {
+		buf = make([]int, 0, len(row))
 	}
-	return out
+	for _, h := range row {
+		buf = append(buf, int(h.To))
+	}
+	return buf
 }
 
 // TotalWeight sums the weights of the edge ids in set.
@@ -130,43 +151,107 @@ var ErrDisconnected = errors.New("graph: graph is not connected")
 // where parentEdge[v] is the edge id used to reach v (-1 for src and for
 // unreachable vertices) and dist[v] is the hop distance (-1 if unreachable).
 func (g *Graph) BFS(src int) (parentEdge, dist []int) {
-	return g.BFSInto(src, &BFSScratch{})
+	pe32, d32 := g.BFSInto(src, &BFSScratch{})
+	parentEdge = make([]int, len(pe32))
+	dist = make([]int, len(d32))
+	for i := range pe32 {
+		parentEdge[i] = int(pe32[i])
+		dist[i] = int(d32[i])
+	}
+	return parentEdge, dist
 }
 
 // BFSScratch holds reusable buffers for repeated BFS passes (Diameter runs
-// one per vertex). The zero value is ready to use.
+// one per vertex). The zero value is ready to use. Buffers are int32 to
+// halve the traversal working set; vertex and edge counts fit int32 by the
+// CSR contract (see csr.go).
 type BFSScratch struct {
-	parentEdge, dist, queue []int
+	parentEdge, dist, queue []int32
 }
 
 // BFSInto is BFS with buffers taken from s. The returned slices are owned
 // by s and are only valid until the next call with the same scratch.
-func (g *Graph) BFSInto(src int, s *BFSScratch) (parentEdge, dist []int) {
+// The frontier is processed level by level, so the current distance is a
+// register, dist doubles as the visited check, and parentEdge is written
+// on first visit only (unreachable vertices are fixed up to the documented
+// -1 in a tail pass that connected graphs skip).
+func (g *Graph) BFSInto(src int, s *BFSScratch) (parentEdge, dist []int32) {
 	if cap(s.parentEdge) < g.N {
-		s.parentEdge = make([]int, g.N)
-		s.dist = make([]int, g.N)
-		s.queue = make([]int, 0, g.N)
+		s.parentEdge = make([]int32, g.N)
+		s.dist = make([]int32, g.N)
+		s.queue = make([]int32, 0, g.N)
 	}
 	parentEdge, dist = s.parentEdge[:g.N], s.dist[:g.N]
 	for i := range dist {
 		dist[i] = -1
-		parentEdge[i] = -1
 	}
+	off, ent := g.CSRView()
 	dist[src] = 0
-	queue := append(s.queue[:0], src)
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		for _, id := range g.adj[v] {
-			u := g.Edges[id].Other(v)
-			if dist[u] < 0 {
-				dist[u] = dist[v] + 1
-				parentEdge[u] = id
-				queue = append(queue, u)
+	parentEdge[src] = -1
+	queue := append(s.queue[:0], int32(src))
+	lo := 0
+	for d := int32(1); lo < len(queue); d++ {
+		hi := len(queue)
+		for _, v := range queue[lo:hi] {
+			for _, h := range ent[off[v]:off[v+1]] {
+				if dist[h.To] < 0 {
+					dist[h.To] = d
+					parentEdge[h.To] = h.ID
+					queue = append(queue, h.To)
+				}
+			}
+		}
+		lo = hi
+	}
+	if len(queue) < g.N {
+		for v := range dist {
+			if dist[v] < 0 {
+				parentEdge[v] = -1
 			}
 		}
 	}
 	s.queue = queue[:0]
 	return parentEdge, dist
+}
+
+// DistancesInto is the distance-only BFS pass: like BFSInto but without
+// parent-edge maintenance, streaming the 4-byte neighbor array instead of
+// the 8-byte (neighbor, edge) pairs. This is the inner pass Diameter runs
+// N times; at seed it paid for parent bookkeeping it never read.
+// The returned slice is owned by s until the next call with the same
+// scratch; dist[v] is -1 for unreachable vertices.
+func (g *Graph) DistancesInto(src int, s *BFSScratch) (dist []int32) {
+	if cap(s.dist) < g.N {
+		s.dist = make([]int32, g.N)
+		s.queue = make([]int32, 0, g.N)
+	}
+	dist = s.dist[:g.N]
+	for i := range dist {
+		dist[i] = -1
+	}
+	g.ensureCSR()
+	off, nbr := g.csr.off, g.csr.nbr
+	dist[src] = 0
+	queue := s.queue[:g.N]
+	queue[0] = int32(src)
+	tail := 1
+	lo := 0
+	for d := int32(1); lo < tail; d++ {
+		hi := tail
+		for _, v := range queue[lo:hi] {
+			b, e := off[v], off[v+1]
+			for i := b; i < e; i++ {
+				u := nbr[i]
+				if dist[u] < 0 {
+					dist[u] = d
+					queue[tail] = u
+					tail++
+				}
+			}
+		}
+		lo = hi
+	}
+	return dist
 }
 
 // Connected reports whether g is connected (true for the empty and
@@ -175,7 +260,7 @@ func (g *Graph) Connected() bool {
 	if g.N <= 1 {
 		return true
 	}
-	_, dist := g.BFS(0)
+	dist := g.DistancesInto(0, &BFSScratch{})
 	for _, d := range dist {
 		if d < 0 {
 			return false
@@ -191,8 +276,8 @@ func (g *Graph) Eccentricity(src int) (int, error) {
 }
 
 func (g *Graph) eccentricityInto(src int, s *BFSScratch) (int, error) {
-	_, dist := g.BFSInto(src, s)
-	ecc := 0
+	dist := g.DistancesInto(src, s)
+	ecc := int32(0)
 	for _, d := range dist {
 		if d < 0 {
 			return 0, ErrDisconnected
@@ -201,25 +286,76 @@ func (g *Graph) eccentricityInto(src int, s *BFSScratch) (int, error) {
 			ecc = d
 		}
 	}
-	return ecc, nil
+	return int(ecc), nil
 }
 
 // Diameter computes the exact hop diameter by running a BFS from every
-// vertex, reusing one scratch across all passes. Intended for instance
-// preparation, not for inner loops.
+// vertex. The N independent BFS passes are split across a worker pool
+// (GOMAXPROCS workers, each with its own scratch); the result is the max
+// over all eccentricities, so it is identical for any worker count.
+// Intended for instance preparation, not for inner loops.
 func (g *Graph) Diameter() (int, error) {
 	if g.N == 0 {
 		return 0, nil
 	}
-	var s BFSScratch
-	diam := 0
-	for v := 0; v < g.N; v++ {
-		ecc, err := g.eccentricityInto(v, &s)
-		if err != nil {
-			return 0, err
+	g.ensureCSR() // build once before the workers fan out
+	workers := runtime.GOMAXPROCS(0)
+	if workers > g.N {
+		workers = g.N
+	}
+	if workers <= 1 {
+		var s BFSScratch
+		diam := 0
+		for v := 0; v < g.N; v++ {
+			ecc, err := g.eccentricityInto(v, &s)
+			if err != nil {
+				return 0, err
+			}
+			if ecc > diam {
+				diam = ecc
+			}
 		}
-		if ecc > diam {
-			diam = ecc
+		return diam, nil
+	}
+	var (
+		next       atomic.Int64
+		failed     atomic.Bool
+		wg         sync.WaitGroup
+		workerDiam = make([]int, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var s BFSScratch
+			diam := 0
+			for !failed.Load() {
+				v := int(next.Add(1)) - 1
+				if v >= g.N {
+					break
+				}
+				ecc, err := g.eccentricityInto(v, &s)
+				if err != nil {
+					// Disconnected from any source means disconnected
+					// from all; stop the pool early.
+					failed.Store(true)
+					return
+				}
+				if ecc > diam {
+					diam = ecc
+				}
+			}
+			workerDiam[w] = diam
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		return 0, ErrDisconnected
+	}
+	diam := 0
+	for _, d := range workerDiam {
+		if d > diam {
+			diam = d
 		}
 	}
 	return diam, nil
@@ -232,8 +368,8 @@ func (g *Graph) DiameterApprox() (int, error) {
 		return 0, nil
 	}
 	var s BFSScratch
-	_, dist := g.BFSInto(0, &s)
-	far, best := 0, -1
+	dist := g.DistancesInto(0, &s)
+	far, best := 0, int32(-1)
 	for v, d := range dist {
 		if d < 0 {
 			return 0, ErrDisconnected
@@ -247,58 +383,78 @@ func (g *Graph) DiameterApprox() (int, error) {
 }
 
 // Bridges returns the ids of all bridge edges of g (edges whose removal
-// disconnects their component), via an iterative Tarjan low-link DFS.
+// disconnects their component), via an iterative Tarjan low-link DFS over
+// the CSR view (int32 discovery/low-link arrays keep the working set half
+// the size of the vertex-indexed []int formulation).
 // Parallel edges are handled correctly: a duplicated edge is never a bridge.
 func (g *Graph) Bridges() []int {
-	disc := make([]int, g.N)
-	low := make([]int, g.N)
-	for i := range disc {
-		disc[i] = -1
+	// dl[v] packs (disc, low) of v in one 8-byte slot: discovery writes
+	// both halves of one cache line entry, and the pop path reads the
+	// parent's pair together.
+	type discLow struct{ disc, low int32 }
+	dl := make([]discLow, g.N)
+	for i := range dl {
+		dl[i].disc = -1
 	}
 	var bridges []int
-	timer := 0
+	timer := int32(0)
 	type frame struct {
-		v, parentEdge, idx int
+		v, parentEdge, idx int32
 	}
+	off, ent := g.CSRView()
 	stack := make([]frame, 0, g.N)
 	for s := 0; s < g.N; s++ {
-		if disc[s] >= 0 {
+		if dl[s].disc >= 0 {
 			continue
 		}
-		disc[s], low[s] = timer, timer
+		dl[s] = discLow{disc: timer, low: timer}
 		timer++
-		stack = append(stack[:0], frame{v: s, parentEdge: -1})
+		stack = append(stack[:0], frame{v: int32(s), parentEdge: -1, idx: off[s]})
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.idx < len(g.adj[f.v]) {
-				id := g.adj[f.v][f.idx]
-				f.idx++
-				if id == f.parentEdge {
+			// Keep the frame's cursor and low-link in locals for the whole
+			// scan of v's row; write back only when pushing or popping.
+			v, pe := f.v, f.parentEdge
+			i, end := f.idx, off[v+1]
+			lowv := dl[v].low
+			pushed := false
+			for i < end {
+				h := ent[i]
+				i++
+				if h.ID == pe {
 					continue
 				}
-				u := g.Edges[id].Other(f.v)
-				if disc[u] < 0 {
-					disc[u], low[u] = timer, timer
-					timer++
-					stack = append(stack, frame{v: u, parentEdge: id})
-				} else if disc[u] < low[f.v] {
-					low[f.v] = disc[u]
+				if d := dl[h.To].disc; d >= 0 {
+					if d < lowv {
+						lowv = d
+					}
+					continue
 				}
-			} else {
-				stack = stack[:len(stack)-1]
-				if len(stack) > 0 {
-					p := &stack[len(stack)-1]
-					if low[f.v] < low[p.v] {
-						low[p.v] = low[f.v]
-					}
-					if low[f.v] > disc[p.v] {
-						bridges = append(bridges, f.parentEdge)
-					}
+				dl[h.To] = discLow{disc: timer, low: timer}
+				timer++
+				f.idx = i
+				dl[v].low = lowv
+				stack = append(stack, frame{v: h.To, parentEdge: h.ID, idx: off[h.To]})
+				pushed = true
+				break
+			}
+			if pushed {
+				continue
+			}
+			dl[v].low = lowv
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if lowv < dl[p.v].low {
+					dl[p.v].low = lowv
+				}
+				if lowv > dl[p.v].disc {
+					bridges = append(bridges, int(pe))
 				}
 			}
 		}
 	}
-	sort.Ints(bridges)
+	slices.Sort(bridges)
 	return bridges
 }
 

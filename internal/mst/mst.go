@@ -18,7 +18,7 @@ package mst
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"twoecss/internal/congest"
 	"twoecss/internal/graph"
@@ -80,7 +80,15 @@ func Kruskal(g *graph.Graph) ([]int, error) {
 	for i := range ids {
 		ids[i] = i
 	}
-	sort.Slice(ids, func(i, j int) bool { return less(g, ids[i], ids[j]) })
+	slices.SortFunc(ids, func(a, b int) int {
+		if less(g, a, b) {
+			return -1
+		}
+		if less(g, b, a) {
+			return 1
+		}
+		return 0
+	})
 	uf := newUnionFind(g.N)
 	out := make([]int, 0, g.N-1)
 	for _, id := range ids {
@@ -92,7 +100,7 @@ func Kruskal(g *graph.Graph) ([]int, error) {
 	if len(out) != g.N-1 {
 		return nil, ErrNotConnected
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out, nil
 }
 
@@ -165,7 +173,7 @@ func Boruvka(net *congest.Network, bfsRoot int) ([]int, error) {
 		for c := range proposals {
 			pcomps = append(pcomps, c)
 		}
-		sort.Ints(pcomps)
+		slices.Sort(pcomps)
 		for _, c := range pcomps {
 			id := proposals[c]
 			e := g.Edges[id]
@@ -214,7 +222,7 @@ func Boruvka(net *congest.Network, bfsRoot int) ([]int, error) {
 	for id := range chosen {
 		out = append(out, id)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	if len(out) != g.N-1 {
 		return nil, fmt.Errorf("mst: Boruvka selected %d edges, want %d", len(out), g.N-1)
 	}
@@ -283,7 +291,7 @@ func minOutgoingPerComp(net *congest.Network, rt *tree.Rooted, comp []int, nbrCo
 		for c := range best[v] {
 			comps = append(comps, c)
 		}
-		sort.Ints(comps)
+		slices.Sort(comps)
 		for _, c := range comps {
 			dirty[v] = append(dirty[v], c)
 			inDirty[v][c] = true

@@ -2,7 +2,7 @@ package primitives
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"twoecss/internal/congest"
 	"twoecss/internal/tree"
@@ -32,7 +32,7 @@ func KeyedCombine(net *congest.Network, t *tree.Rooted, perNode []map[congest.Wo
 			acc[v][k] = val
 			keys = append(keys, k)
 		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		slices.Sort(keys)
 		for _, k := range keys {
 			dirty[v] = append(dirty[v], k)
 			inDirty[v][k] = true
@@ -86,7 +86,7 @@ func KeyedCombineBroadcast(net *congest.Network, t *tree.Rooted, perNode []map[c
 	for k := range table {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	items := make([]Item, 0, len(keys))
 	for _, k := range keys {
 		items = append(items, Item{k, table[k]})

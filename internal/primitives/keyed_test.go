@@ -46,6 +46,19 @@ func TestKeyedCombineMin(t *testing.T) {
 	}
 }
 
+// toKeyedValues converts the map-based test fixtures to the flat
+// KeyedSumOrdered input (unsorted; the primitive sorts).
+func toKeyedValues(perNode []map[congest.Word]congest.Word) []KeyedValues {
+	out := make([]KeyedValues, len(perNode))
+	for v, m := range perNode {
+		for k, val := range m {
+			out[v].Keys = append(out[v].Keys, k)
+			out[v].Vals = append(out[v].Vals, val)
+		}
+	}
+	return out
+}
+
 func TestKeyedSumOrderedExact(t *testing.T) {
 	for _, n := range []int{2, 5, 30, 80} {
 		net, rt := testNet(t, int64(n), n)
@@ -64,7 +77,7 @@ func TestKeyedSumOrderedExact(t *testing.T) {
 			}
 		}
 		sum := func(a, b congest.Word) congest.Word { return a + b }
-		got, err := KeyedSumOrdered(net, rt, perNode, sum)
+		got, err := KeyedSumOrdered(net, rt, toKeyedValues(perNode), sum)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +111,7 @@ func TestKeyedSumOrderedPipelines(t *testing.T) {
 	}
 	base := net.Stats().SimulatedRounds
 	sum := func(a, b congest.Word) congest.Word { return a + b }
-	got, err := KeyedSumOrdered(net, rt, perNode, sum)
+	got, err := KeyedSumOrdered(net, rt, toKeyedValues(perNode), sum)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,11 +3,36 @@ package primitives
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"twoecss/internal/congest"
 	"twoecss/internal/tree"
 )
+
+// KeyedValues is one vertex's input to KeyedSumOrdered: parallel key/value
+// slices (not necessarily sorted). Keys must be unique per vertex and
+// below math.MaxInt64, which is reserved as the done marker.
+//
+// KeyedSumOrdered CONSUMES the slices: it sorts, drains, and shifts them
+// in place, so after the call their contents (at the original lengths)
+// are unspecified. Callers that reuse backing arrays across calls must
+// rebuild them from length zero each time (as segments.Aggregator does).
+type KeyedValues struct {
+	Keys, Vals []congest.Word
+}
+
+// sortByKey co-sorts kv.Vals with kv.Keys. The lists are short (a handful
+// of segment keys per vertex), so a binary-insertion pass beats building a
+// permutation; it is also stable, though keys are unique anyway.
+func (kv *KeyedValues) sortByKey() {
+	for i := 1; i < len(kv.Keys); i++ {
+		k, v := kv.Keys[i], kv.Vals[i]
+		j, _ := slices.BinarySearch(kv.Keys[:i], k)
+		copy(kv.Keys[j+1:i+1], kv.Keys[j:i])
+		copy(kv.Vals[j+1:i+1], kv.Vals[j:i])
+		kv.Keys[j], kv.Vals[j] = k, v
+	}
+}
 
 // KeyedSumOrdered convergecasts per-key values to the root with exact-once
 // combining, supporting non-idempotent operators (sum, xor, float-sum).
@@ -17,40 +42,50 @@ import (
 // pipelined aggregate convergecast the paper invokes for per-highway
 // aggregation (Section 4.2.3).
 // Rounds: O(height + #keys).
-func KeyedSumOrdered(net *congest.Network, t *tree.Rooted, perNode []map[congest.Word]congest.Word, op Combine) (map[congest.Word]congest.Word, error) {
+//
+// Node state is flat: per-vertex sorted (key, value) parallel slices, one
+// global progress array indexed by child vertex, and double-buffered
+// two-word payloads, so a steady-state round allocates only when a key
+// list grows.
+func KeyedSumOrdered(net *congest.Network, t *tree.Rooted, perNode []KeyedValues, op Combine) (map[congest.Word]congest.Word, error) {
 	g := net.G
 	if len(perNode) != g.N {
 		return nil, fmt.Errorf("primitives: perNode length %d != n", len(perNode))
 	}
 	const doneTag = math.MaxInt64
+	const unreported = math.MinInt64
 
-	acc := make([]map[congest.Word]congest.Word, g.N)
-	keys := make([][]congest.Word, g.N)           // own ∪ received keys, kept sorted
-	progress := make([]map[int]congest.Word, g.N) // child vertex -> last key (doneTag when finished)
-	childCount := make([]int, g.N)
+	keys := make([][]congest.Word, g.N) // pending keys, sorted ascending
+	vals := make([][]congest.Word, g.N) // vals[v][i] pairs with keys[v][i]
+	// progress[u] is the last key child u streamed to its parent
+	// (unreported before u's first message, doneTag when u finished).
+	progress := make([]congest.Word, g.N)
 	sentDone := make([]bool, g.N)
+	// payload[4v:4v+4] holds v's double-buffered two-word payload: a
+	// receiver reads a payload in the round after it was filled, in which
+	// round v may fill the other half (see DESIGN.md on payload recycling).
+	payload := make([]congest.Word, 4*g.N)
+	parity := make([]bool, g.N)
 
 	for v := 0; v < g.N; v++ {
-		acc[v] = make(map[congest.Word]congest.Word, len(perNode[v]))
-		for k, val := range perNode[v] {
-			acc[v][k] = val
-			keys[v] = append(keys[v], k)
+		kv := perNode[v]
+		if len(kv.Keys) != len(kv.Vals) {
+			return nil, fmt.Errorf("primitives: vertex %d has %d keys but %d values", v, len(kv.Keys), len(kv.Vals))
 		}
-		sort.Slice(keys[v], func(i, j int) bool { return keys[v][i] < keys[v][j] })
-		childCount[v] = len(t.Children[v])
-		progress[v] = make(map[int]congest.Word, childCount[v])
+		kv.sortByKey()
+		keys[v] = kv.Keys
+		vals[v] = kv.Vals
+		progress[v] = unreported
 	}
 
 	// childFloor returns the smallest progress over v's children
-	// (doneTag if v has no children or all are done).
+	// (doneTag if v has no children or all are done; unreported if any
+	// child has not reported at all).
 	childFloor := func(v int) congest.Word {
-		if len(progress[v]) < childCount[v] {
-			return math.MinInt64 // some child has not reported at all
-		}
 		floor := congest.Word(doneTag)
-		for _, p := range progress[v] {
-			if p < floor {
-				floor = p
+		for _, c := range t.Children[v] {
+			if progress[c] < floor {
+				floor = progress[c]
 			}
 		}
 		return floor
@@ -61,22 +96,23 @@ func KeyedSumOrdered(net *congest.Network, t *tree.Rooted, perNode []map[congest
 			from := m.From
 			k := m.Data[0]
 			if k == doneTag {
-				progress[v][from] = doneTag
+				progress[from] = doneTag
 				continue
 			}
 			val := m.Data[1]
-			if cur, ok := acc[v][k]; ok {
-				acc[v][k] = op(cur, val)
+			// Insert in sorted position (arrivals are ordered per child,
+			// but interleave across children), combining equal keys.
+			i, found := slices.BinarySearch(keys[v], k)
+			if found {
+				vals[v][i] = op(vals[v][i], val)
 			} else {
-				acc[v][k] = val
-				// Insert in sorted position (arrivals are ordered per
-				// child, but interleave across children).
-				i := sort.Search(len(keys[v]), func(i int) bool { return keys[v][i] >= k })
 				keys[v] = append(keys[v], 0)
+				vals[v] = append(vals[v], 0)
 				copy(keys[v][i+1:], keys[v][i:])
-				keys[v][i] = k
+				copy(vals[v][i+1:], vals[v][i:])
+				keys[v][i], vals[v][i] = k, val
 			}
-			progress[v][from] = k
+			progress[from] = k
 		}
 		if t.ParentEdge[v] < 0 || sentDone[v] {
 			return nil, false
@@ -85,29 +121,45 @@ func KeyedSumOrdered(net *congest.Network, t *tree.Rooted, perNode []map[congest
 		if len(keys[v]) > 0 {
 			k := keys[v][0]
 			if k <= floor {
+				val := vals[v][0]
 				keys[v] = keys[v][1:]
-				msg := congest.Msg{EdgeID: t.ParentEdge[v], From: v,
-					Data: []congest.Word{k, acc[v][k]}}
-				return []congest.Msg{msg}, true
+				vals[v] = vals[v][1:]
+				buf := payload[4*v : 4*v+2 : 4*v+2]
+				if parity[v] {
+					buf = payload[4*v+2 : 4*v+4 : 4*v+4]
+				}
+				parity[v] = !parity[v]
+				buf[0], buf[1] = k, val
+				out := append(net.OutBuf(v), congest.Msg{EdgeID: t.ParentEdge[v], From: v, Data: buf})
+				return out, true
 			}
 			return nil, true // wait for children to progress past k
 		}
 		if floor == doneTag {
 			sentDone[v] = true
-			msg := congest.Msg{EdgeID: t.ParentEdge[v], From: v,
-				Data: []congest.Word{doneTag}}
-			return []congest.Msg{msg}, false
+			buf := payload[4*v : 4*v+1 : 4*v+1]
+			if parity[v] {
+				buf = payload[4*v+2 : 4*v+3 : 4*v+3]
+			}
+			parity[v] = !parity[v]
+			buf[0] = doneTag
+			out := append(net.OutBuf(v), congest.Msg{EdgeID: t.ParentEdge[v], From: v, Data: buf})
+			return out, false
 		}
 		return nil, true
 	}
 	total := 0
-	for _, m := range perNode {
-		total += len(m)
+	for _, kv := range perNode {
+		total += len(kv.Keys)
 	}
 	if err := net.Run(handler, nil, maxRoundsFor(g, 4*total)); err != nil {
 		return nil, err
 	}
-	// Drop keys already streamed away at the root? The root never streams;
-	// acc[root] holds the full table.
-	return acc[t.Root], nil
+	// The root never streams; its remaining (key, value) lists are the
+	// full combined table.
+	table := make(map[congest.Word]congest.Word, len(keys[t.Root]))
+	for i, k := range keys[t.Root] {
+		table[k] = vals[t.Root][i]
+	}
+	return table, nil
 }

@@ -55,11 +55,10 @@ func BuildBFS(net *congest.Network, root int) (*tree.Rooted, error) {
 		if justJoined[v] {
 			justJoined[v] = false
 			out := net.OutBuf(v)
-			for _, id := range g.Incident(v) {
-				if id == parentEdge[v] {
-					continue
+			for _, h := range g.Row(v) {
+				if id := int(h.ID); id != parentEdge[v] {
+					out = append(out, congest.Msg{EdgeID: id, From: v, Data: exploreData})
 				}
-				out = append(out, congest.Msg{EdgeID: id, From: v, Data: exploreData})
 			}
 			return out, false
 		}
@@ -80,28 +79,19 @@ var exploreData = []congest.Word{1}
 // fields).
 type Item []congest.Word
 
-// treeLocal is the node-local view of a rooted tree that every primitive
-// uses: parent edge and child edges. Deriving it from a *tree.Rooted is
-// node-local bookkeeping (each vertex knows its incident tree edges after
-// tree construction).
-type treeLocal struct {
-	parentEdge []int   // -1 at root
-	childEdges [][]int // edge ids to children
-	root       int
-}
+// The primitives read their node-local tree view (parent edge, child
+// edges) straight from the *tree.Rooted: the edge to child c is
+// t.ParentEdge[c], so no per-call adjacency copy is needed. This models
+// the same node-local knowledge (each vertex knows its incident tree
+// edges after tree construction) without the O(n) localView allocation
+// the seed paid on every primitive call.
 
-func localView(t *tree.Rooted) *treeLocal {
-	n := t.G.N
-	tl := &treeLocal{parentEdge: make([]int, n), childEdges: make([][]int, n), root: t.Root}
-	for v := 0; v < n; v++ {
-		tl.parentEdge[v] = t.ParentEdge[v]
-		kids := t.Children[v]
-		tl.childEdges[v] = make([]int, len(kids))
-		for i, c := range kids {
-			tl.childEdges[v][i] = t.ParentEdge[c]
-		}
+// appendChildMsgs appends one message per child edge of v carrying data.
+func appendChildMsgs(out []congest.Msg, t *tree.Rooted, v int, data []congest.Word) []congest.Msg {
+	for _, c := range t.Children[v] {
+		out = append(out, congest.Msg{EdgeID: t.ParentEdge[c], From: v, Data: data})
 	}
-	return tl
+	return out
 }
 
 // Gather moves every node's items to the root via a pipelined convergecast
@@ -113,7 +103,6 @@ func Gather(net *congest.Network, t *tree.Rooted, perNode [][]Item) ([]Item, err
 	if len(perNode) != g.N {
 		return nil, fmt.Errorf("primitives: perNode length %d != n", len(perNode))
 	}
-	tl := localView(t)
 	queue := make([][]Item, g.N)
 	for v := 0; v < g.N; v++ {
 		queue[v] = append(queue[v], perNode[v]...)
@@ -123,7 +112,7 @@ func Gather(net *congest.Network, t *tree.Rooted, perNode [][]Item) ([]Item, err
 		for _, m := range inbox {
 			queue[v] = append(queue[v], Item(m.Data))
 		}
-		if v == tl.root {
+		if v == t.Root {
 			collected = append(collected, queue[v]...)
 			queue[v] = queue[v][:0]
 			return nil, false
@@ -133,7 +122,7 @@ func Gather(net *congest.Network, t *tree.Rooted, perNode [][]Item) ([]Item, err
 		}
 		it := queue[v][0]
 		queue[v] = queue[v][1:]
-		out := append(net.OutBuf(v), congest.Msg{EdgeID: tl.parentEdge[v], From: v, Data: it})
+		out := append(net.OutBuf(v), congest.Msg{EdgeID: t.ParentEdge[v], From: v, Data: it})
 		return out, len(queue[v]) > 0
 	}
 	total := 0
@@ -149,37 +138,47 @@ func Gather(net *congest.Network, t *tree.Rooted, perNode [][]Item) ([]Item, err
 // Broadcast delivers the given items from the root to every vertex via a
 // pipelined downcast. Every vertex ends up with all items in the same
 // order. Rounds: O(height + len(items)).
+//
+// The pipelined downcast preserves order, so every vertex receives exactly
+// items[0], items[1], ... — node state is therefore two counters per
+// vertex (received, forwarded) rather than per-vertex item queues, and the
+// returned per-vertex slices alias the caller's items (do not mutate).
 func Broadcast(net *congest.Network, t *tree.Rooted, items []Item) ([][]Item, error) {
+	received := make([][]Item, net.G.N)
+	rcvd, err := broadcastCounted(net, t, items)
+	if err != nil {
+		return nil, err
+	}
+	for v := range received {
+		received[v] = items[:rcvd[v]:rcvd[v]]
+	}
+	return received, nil
+}
+
+// broadcastCounted runs the downcast and returns the per-vertex count of
+// delivered items (len(items) everywhere on a spanning tree). Callers that
+// ignore the received lists (aggregate bills) use it to skip building them.
+func broadcastCounted(net *congest.Network, t *tree.Rooted, items []Item) ([]int32, error) {
 	g := net.G
-	tl := localView(t)
-	received := make([][]Item, g.N)
-	// pending[v] holds items yet to be forwarded to children.
-	pending := make([][]Item, g.N)
-	received[t.Root] = append(received[t.Root], items...)
-	pending[t.Root] = append(pending[t.Root], items...)
+	rcvd := make([]int32, g.N)
+	fwd := make([]int32, g.N)
+	rcvd[t.Root] = int32(len(items))
 
 	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
-		for _, m := range inbox {
-			it := Item(m.Data)
-			received[v] = append(received[v], it)
-			pending[v] = append(pending[v], it)
-		}
-		if len(pending[v]) == 0 || len(tl.childEdges[v]) == 0 {
-			pending[v] = pending[v][:0]
+		rcvd[v] += int32(len(inbox))
+		if fwd[v] == rcvd[v] || len(t.Children[v]) == 0 {
+			fwd[v] = rcvd[v]
 			return nil, false
 		}
-		it := pending[v][0]
-		pending[v] = pending[v][1:]
-		out := net.OutBuf(v)
-		for _, id := range tl.childEdges[v] {
-			out = append(out, congest.Msg{EdgeID: id, From: v, Data: it})
-		}
-		return out, len(pending[v]) > 0
+		it := items[fwd[v]]
+		fwd[v]++
+		out := appendChildMsgs(net.OutBuf(v), t, v, it)
+		return out, fwd[v] < rcvd[v]
 	}
 	if err := net.Run(handler, []int{t.Root}, maxRoundsFor(g, len(items)*2)); err != nil {
 		return nil, err
 	}
-	return received, nil
+	return rcvd, nil
 }
 
 // GatherBroadcast gathers all items to the root and then broadcasts them so
@@ -193,6 +192,24 @@ func GatherBroadcast(net *congest.Network, t *tree.Rooted, perNode [][]Item) ([]
 	return Broadcast(net, t, collected)
 }
 
+// GatherBroadcastAll is GatherBroadcast for callers that need only the
+// communication (and its round bill), not the per-vertex received lists.
+func GatherBroadcastAll(net *congest.Network, t *tree.Rooted, perNode [][]Item) error {
+	collected, err := Gather(net, t, perNode)
+	if err != nil {
+		return err
+	}
+	_, err = broadcastCounted(net, t, collected)
+	return err
+}
+
+// BroadcastAll is Broadcast for callers that need only the communication,
+// not the per-vertex received lists.
+func BroadcastAll(net *congest.Network, t *tree.Rooted, items []Item) error {
+	_, err := broadcastCounted(net, t, items)
+	return err
+}
+
 // Combine is a binary aggregate operator on words (sum, min, max, xor, ...).
 type Combine func(a, b congest.Word) congest.Word
 
@@ -204,11 +221,10 @@ func SubtreeAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, op
 	if len(x) != g.N {
 		return nil, fmt.Errorf("primitives: input length %d != n", len(x))
 	}
-	tl := localView(t)
 	acc := append([]congest.Word(nil), x...)
 	needed := make([]int, g.N)
 	for v := 0; v < g.N; v++ {
-		needed[v] = len(tl.childEdges[v])
+		needed[v] = len(t.Children[v])
 	}
 	reported := make([]bool, g.N)
 	// Each node sends its aggregate exactly once per run, so one shared
@@ -223,9 +239,9 @@ func SubtreeAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, op
 		}
 		if needed[v] == 0 && !reported[v] {
 			reported[v] = true
-			if tl.parentEdge[v] >= 0 {
+			if t.ParentEdge[v] >= 0 {
 				sendBuf[v] = acc[v]
-				msg := congest.Msg{EdgeID: tl.parentEdge[v], From: v, Data: sendBuf[v : v+1 : v+1]}
+				msg := congest.Msg{EdgeID: t.ParentEdge[v], From: v, Data: sendBuf[v : v+1 : v+1]}
 				return append(net.OutBuf(v), msg), false
 			}
 		}
@@ -245,7 +261,6 @@ func RootPathAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, o
 	if len(x) != g.N {
 		return nil, fmt.Errorf("primitives: input length %d != n", len(x))
 	}
-	tl := localView(t)
 	acc := append([]congest.Word(nil), x...)
 	sent := make([]bool, g.N)
 	have := make([]bool, g.N)
@@ -262,10 +277,7 @@ func RootPathAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, o
 		if have[v] && !sent[v] {
 			sent[v] = true
 			sendBuf[v] = acc[v]
-			out := net.OutBuf(v)
-			for _, id := range tl.childEdges[v] {
-				out = append(out, congest.Msg{EdgeID: id, From: v, Data: sendBuf[v : v+1 : v+1]})
-			}
+			out := appendChildMsgs(net.OutBuf(v), t, v, sendBuf[v:v+1:v+1])
 			return out, false
 		}
 		return nil, false
@@ -286,7 +298,7 @@ func GlobalAggregate(net *congest.Network, t *tree.Rooted, x []congest.Word, op 
 		return 0, err
 	}
 	total := up[t.Root]
-	if _, err := Broadcast(net, t, []Item{{total}}); err != nil {
+	if _, err := broadcastCounted(net, t, []Item{{total}}); err != nil {
 		return 0, err
 	}
 	return total, nil

@@ -34,6 +34,18 @@ type Aggregator struct {
 	coveredBy [][]int // per virtual edge: covered tree-edge children
 	covering  [][]int // per tree-edge child: covering virtual edges
 	vedgeSegs [][]int // per virtual edge: distinct segments its path touches
+
+	// Scratch reused across aggregate calls (an Aggregator is not safe for
+	// concurrent use, matching the one-Network-one-run engine contract):
+	// per-vertex keyed inputs for the Claim 4.6 convergecast, per-vertex
+	// item lists for the Claim 4.5 gather-broadcast, and the flat payload
+	// backing for per-segment items.
+	kv       []primitives.KeyedValues
+	kvTouch  []int // vertices with non-empty kv this call
+	perNode  [][]primitives.Item
+	pnTouch  []int // vertices with non-empty perNode this call
+	itemBuf  []congest.Word
+	itemList []primitives.Item
 }
 
 // NewAggregator precomputes the cover structure. The precomputation mirrors
@@ -73,6 +85,21 @@ func (a *Aggregator) chargeIntraSegment(what string) error {
 	return a.Net.Charge(int64(3*a.D.MaxDiameter+3), what)
 }
 
+// itemsInto resets the per-segment item scratch and returns an empty item
+// list whose entries may be filled via appendItem.
+func (a *Aggregator) itemsInto() {
+	a.itemBuf = a.itemBuf[:0]
+	a.itemList = a.itemList[:0]
+}
+
+// appendItem appends a two-word item backed by the reused flat buffer. The
+// buffer is pre-grown so appends never relocate live item payloads.
+func (a *Aggregator) appendItem(k, v congest.Word) {
+	a.itemBuf = append(a.itemBuf, k, v)
+	n := len(a.itemBuf)
+	a.itemList = append(a.itemList, primitives.Item(a.itemBuf[n-2:n:n]))
+}
+
 // PerVEdge implements Claim 4.5: result[ve] = fold(op, id, value(c) for all
 // covered tree-edge children c). op must be commutative and associative.
 func (a *Aggregator) PerVEdge(value func(c int) congest.Word, op primitives.Combine, id congest.Word) ([]congest.Word, error) {
@@ -82,15 +109,29 @@ func (a *Aggregator) PerVEdge(value func(c int) congest.Word, op primitives.Comb
 	// Claim 4.4 global step: every vertex learns the per-segment highway
 	// aggregate m_S; simulated as a gather-broadcast of one item per
 	// segment, originated at the segment descendant.
-	perNode := make([][]primitives.Item, a.BFS.G.N)
+	if a.perNode == nil {
+		a.perNode = make([][]primitives.Item, a.BFS.G.N)
+	}
+	for _, v := range a.pnTouch {
+		a.perNode[v] = a.perNode[v][:0]
+	}
+	a.pnTouch = a.pnTouch[:0]
+	a.itemsInto()
+	if cap(a.itemBuf) < 2*len(a.D.Segs) {
+		a.itemBuf = make([]congest.Word, 0, 2*len(a.D.Segs))
+	}
 	for _, seg := range a.D.Segs {
 		m := id
 		for i := 1; i < len(seg.Highway); i++ {
 			m = op(m, value(seg.Highway[i]))
 		}
-		perNode[seg.Desc] = append(perNode[seg.Desc], primitives.Item{congest.Word(seg.ID), m})
+		if len(a.perNode[seg.Desc]) == 0 {
+			a.pnTouch = append(a.pnTouch, seg.Desc)
+		}
+		a.appendItem(congest.Word(seg.ID), m)
+		a.perNode[seg.Desc] = append(a.perNode[seg.Desc], a.itemList[len(a.itemList)-1])
 	}
-	if _, err := primitives.GatherBroadcast(a.Net, a.BFS, perNode); err != nil {
+	if err := primitives.GatherBroadcastAll(a.Net, a.BFS, a.perNode); err != nil {
 		return nil, fmt.Errorf("segments: claim 4.5 global step: %w", err)
 	}
 	out := make([]congest.Word, len(a.VG.VEdges))
@@ -114,36 +155,57 @@ func (a *Aggregator) PerTreeEdge(contribute func(ve int) (congest.Word, bool), o
 	// Global step: mid/long-range contributions are combined per segment
 	// over the BFS tree (Section 4.2.3); simulated as an ordered keyed
 	// convergecast followed by a broadcast of the per-segment table.
-	perNode := make([]map[congest.Word]congest.Word, a.BFS.G.N)
-	for v := range perNode {
-		perNode[v] = map[congest.Word]congest.Word{}
+	// Per-vertex inputs are flat (key, value) lists reused across calls;
+	// segment-key lists per simulating vertex are short, so the insert
+	// scan is cheaper than the per-vertex maps it replaces.
+	if a.kv == nil {
+		a.kv = make([]primitives.KeyedValues, a.BFS.G.N)
 	}
+	for _, v := range a.kvTouch {
+		a.kv[v].Keys = a.kv[v].Keys[:0]
+		a.kv[v].Vals = a.kv[v].Vals[:0]
+	}
+	a.kvTouch = a.kvTouch[:0]
 	for ve := range a.VG.VEdges {
 		w, ok := contribute(ve)
 		if !ok {
 			continue
 		}
 		dec := a.VG.VEdges[ve].Dec // simulating vertex
+		kv := &a.kv[dec]
+		if len(kv.Keys) == 0 {
+			a.kvTouch = append(a.kvTouch, dec)
+		}
 		for _, sid := range a.vedgeSegs[ve] {
 			k := congest.Word(sid)
-			if cur, exists := perNode[dec][k]; exists {
-				perNode[dec][k] = op(cur, w)
-			} else {
-				perNode[dec][k] = w
+			found := false
+			for i, have := range kv.Keys {
+				if have == k {
+					kv.Vals[i] = op(kv.Vals[i], w)
+					found = true
+					break
+				}
+			}
+			if !found {
+				kv.Keys = append(kv.Keys, k)
+				kv.Vals = append(kv.Vals, w)
 			}
 		}
 	}
-	table, err := primitives.KeyedSumOrdered(a.Net, a.BFS, perNode, op)
+	table, err := primitives.KeyedSumOrdered(a.Net, a.BFS, a.kv, op)
 	if err != nil {
 		return nil, fmt.Errorf("segments: claim 4.6 convergecast: %w", err)
 	}
-	items := make([]primitives.Item, 0, len(table))
+	a.itemsInto()
+	if cap(a.itemBuf) < 2*len(a.D.Segs) {
+		a.itemBuf = make([]congest.Word, 0, 2*len(a.D.Segs))
+	}
 	for _, seg := range a.D.Segs {
 		if val, ok := table[congest.Word(seg.ID)]; ok {
-			items = append(items, primitives.Item{congest.Word(seg.ID), val})
+			a.appendItem(congest.Word(seg.ID), val)
 		}
 	}
-	if _, err := primitives.Broadcast(a.Net, a.BFS, items); err != nil {
+	if err := primitives.BroadcastAll(a.Net, a.BFS, a.itemList); err != nil {
 		return nil, fmt.Errorf("segments: claim 4.6 broadcast: %w", err)
 	}
 

@@ -19,7 +19,7 @@ package segments
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"twoecss/internal/tree"
 )
@@ -218,7 +218,7 @@ func Build(t *tree.Rooted) (*Decomposition, error) {
 		for v := range memberSet[i] {
 			ms = append(ms, v)
 		}
-		sort.Ints(ms)
+		slices.Sort(ms)
 		d.Segs[i].Members = ms
 	}
 	d.SkeletonParent = make([]int, len(d.Segs))

@@ -4,98 +4,175 @@ import (
 	"fmt"
 
 	"twoecss/internal/congest"
+	"twoecss/internal/graph"
 )
 
-// PartwiseAggregate combines one value per member vertex within every part
-// (over G[V_p]+H_p) and delivers the result to all members, simultaneously
-// for all parts. The simulation is contention-faithful: every graph edge
-// carries at most one message per direction per round regardless of how
-// many parts route through it, so the measured rounds reflect the realized
-// alpha-congestion beta-dilation of the shortcut.
-func PartwiseAggregate(net *congest.Network, part *Partition, sc *Shortcut, x []Word, op Combine) ([]Word, error) {
-	g := net.G
-	if len(x) != g.N {
-		return nil, fmt.Errorf("shortcuts: input length %d != n", len(x))
-	}
-	// Per-part BFS trees over the part subgraphs, rooted at the leader.
-	type role struct {
-		part       int
-		parentEdge int // -1 at the leader
-		children   int
-	}
-	rolesAt := make([][]int, g.N) // vertex -> indices into roles
-	var roles []role
-	roleIdx := map[[2]int]int{} // (part, vertex) -> role index
+// role is one (part, vertex) participation in the part-wise aggregation:
+// the per-part BFS-tree position of a vertex (members aggregate, steiner
+// relays forward).
+type role struct {
+	part       int32
+	parentEdge int32 // -1 at the leader
+	children   int32
+}
 
+// AggPlan is the reusable execution plan of PartwiseAggregate for one
+// (graph, partition, shortcut) triple: the per-part BFS trees flattened to
+// role tables, plus all run-state scratch. Building the plan walks every
+// part subgraph once; Aggregate can then run any number of times (the tool
+// hierarchy re-aggregates over the same partitions every level call)
+// without rebuilding trees or allocating per-part state. A plan is not
+// safe for concurrent use.
+type AggPlan struct {
+	g       *graph.Graph
+	part    *Partition
+	sc      *Shortcut
+	roles   []role
+	rolesAt [][]int32 // vertex -> indices into roles
+
+	// Run-state, reused across Aggregate calls.
+	acc        []Word
+	pend       []int32
+	result     []Word
+	haveResult []bool
+	started    []bool
+	// queues[2*edgeID+dir] is the FIFO of messages vertex us/vs[edgeID]
+	// (dir 0/1) still has to push over that edge, one per round; heads
+	// index into the queue slices to avoid re-slicing writes.
+	queues [][]congest.Msg
+	heads  []int32
+	slots  []int32 // queue slots used this run, for O(used) reset
+	// slab backs message payloads (3 words each); payload slices alias it,
+	// and append growth relocates only future payloads, so live ones stay
+	// valid. Reset per run, amortizing payload allocation to zero.
+	slab []Word
+}
+
+// NewAggPlan builds the plan: per-part BFS trees over G[V_p]+H_p rooted at
+// the part leader, in the exact construction order of the legacy per-call
+// builds (ascending member order, incident order within a vertex).
+func NewAggPlan(g *graph.Graph, part *Partition, sc *Shortcut) *AggPlan {
+	pl := &AggPlan{g: g, part: part, sc: sc}
+	pl.rolesAt = make([][]int32, g.N)
+	us, vs := g.Endpoints()
+	var pa partAdj
+	childCount := make(map[int32]int32) // vertex -> children in current part tree
+	parentEdge := make(map[int32]int32)
 	for p := 0; p < part.Parts; p++ {
-		adj, members := partSubgraph(g, part, sc.EdgesOf[p], p)
+		members := part.Members[p]
 		if len(members) == 0 {
 			continue
 		}
-		leader := members[0]
-		parentEdge := map[int]int{leader: -1}
-		order := []int{leader}
+		pa.build(g, part, sc.EdgesOf[p], p)
+		leader := int32(members[0])
+		clear(parentEdge)
+		clear(childCount)
+		parentEdge[leader] = -1
+		order := append(pa.queue[:0], leader)
 		for qi := 0; qi < len(order); qi++ {
 			v := order[qi]
-			for _, id := range adj[v] {
-				u := g.Edges[id].Other(v)
+			for _, id := range pa.row(v) {
+				u := us[id] ^ vs[id] ^ v
 				if _, ok := parentEdge[u]; !ok {
 					parentEdge[u] = id
 					order = append(order, u)
 				}
 			}
 		}
-		childCount := map[int]int{}
 		for v, pe := range parentEdge {
 			if pe >= 0 {
-				childCount[g.Edges[pe].Other(v)]++
+				childCount[us[pe]^vs[pe]^v]++
 			}
 		}
 		for _, v := range order {
-			ri := len(roles)
-			roles = append(roles, role{part: p, parentEdge: parentEdge[v], children: childCount[v]})
-			rolesAt[v] = append(rolesAt[v], ri)
-			roleIdx[[2]int{p, v}] = ri
+			ri := int32(len(pl.roles))
+			pl.roles = append(pl.roles, role{part: int32(p), parentEdge: parentEdge[v], children: childCount[v]})
+			pl.rolesAt[v] = append(pl.rolesAt[v], ri)
+		}
+		pa.queue = order[:0]
+	}
+	nr := len(pl.roles)
+	pl.acc = make([]Word, nr)
+	pl.pend = make([]int32, nr)
+	pl.result = make([]Word, nr)
+	pl.haveResult = make([]bool, nr)
+	pl.started = make([]bool, nr)
+	pl.queues = make([][]congest.Msg, 2*g.M())
+	pl.heads = make([]int32, 2*g.M())
+	return pl
+}
+
+// roleOf returns v's role index in part p, or -1.
+func (pl *AggPlan) roleOf(p int32, v int32) int32 {
+	for _, ri := range pl.rolesAt[v] {
+		if pl.roles[ri].part == p {
+			return ri
 		}
 	}
+	return -1
+}
 
-	// Node state: accumulated value and remaining children per role; a
-	// FIFO queue per (vertex, incident edge) holding (tag, part, value)
-	// messages; one message per edge direction per round.
-	acc := make([]Word, len(roles))
-	pend := make([]int, len(roles))
-	result := make([]Word, len(roles))
-	haveResult := make([]bool, len(roles))
-	for ri, r := range roles {
-		pend[ri] = r.children
+const (
+	tagUp   = 0
+	tagDown = 1
+)
+
+// Aggregate combines one value per member vertex within every part (over
+// G[V_p]+H_p) and delivers the result to all members, simultaneously for
+// all parts; see PartwiseAggregate for the contract.
+func (pl *AggPlan) Aggregate(net *congest.Network, x []Word, op Combine) ([]Word, error) {
+	g := pl.g
+	if net.G != g {
+		return nil, fmt.Errorf("shortcuts: aggregate plan built for a different graph")
+	}
+	if len(x) != g.N {
+		return nil, fmt.Errorf("shortcuts: input length %d != n", len(x))
+	}
+	part := pl.part
+	_, vs := g.Endpoints()
+
+	// Reset run-state.
+	for ri, r := range pl.roles {
+		pl.pend[ri] = r.children
+		pl.haveResult[ri] = false
+		pl.started[ri] = false
 	}
 	for v := 0; v < g.N; v++ {
-		for _, ri := range rolesAt[v] {
-			if part.Of[v] == roles[ri].part {
-				acc[ri] = x[v]
+		for _, ri := range pl.rolesAt[v] {
+			if int32(part.Of[v]) == pl.roles[ri].part {
+				pl.acc[ri] = x[v]
 			} else {
-				acc[ri] = identityHint // steiner relay: contributes nothing
+				pl.acc[ri] = identityHint // steiner relay: contributes nothing
 			}
 		}
 	}
-	queues := make([]map[int][]congest.Msg, g.N)
-	for v := range queues {
-		queues[v] = map[int][]congest.Msg{}
+	for _, s := range pl.slots {
+		pl.queues[s] = pl.queues[s][:0]
+		pl.heads[s] = 0
 	}
-	push := func(v, edge int, data []Word) {
-		queues[v][edge] = append(queues[v][edge], congest.Msg{EdgeID: edge, From: v, Data: data})
+	pl.slots = pl.slots[:0]
+	pl.slab = pl.slab[:0]
+
+	push := func(v int32, edge int32, tag, p, val Word) {
+		dir := int32(0)
+		if vs[edge] == v {
+			dir = 1
+		}
+		slot := 2*edge + dir
+		if len(pl.queues[slot]) == 0 && pl.heads[slot] == 0 {
+			pl.slots = append(pl.slots, slot) // first use this run; reset next run
+		}
+		pl.slab = append(pl.slab, tag, p, val)
+		data := pl.slab[len(pl.slab)-3 : len(pl.slab) : len(pl.slab)]
+		pl.queues[slot] = append(pl.queues[slot], congest.Msg{EdgeID: int(edge), From: int(v), Data: data})
 	}
-	const (
-		tagUp   = 0
-		tagDown = 1
-	)
-	started := make([]bool, len(roles))
 
 	handler := func(v int, inbox []congest.Msg) ([]congest.Msg, bool) {
+		v32 := int32(v)
 		for _, m := range inbox {
-			tag, p, val := m.Data[0], int(m.Data[1]), m.Data[2]
-			ri, ok := roleIdx[[2]int{p, v}]
-			if !ok {
+			tag, p, val := m.Data[0], int32(m.Data[1]), m.Data[2]
+			ri := pl.roleOf(p, v32)
+			if ri < 0 {
 				continue
 			}
 			switch tag {
@@ -103,63 +180,67 @@ func PartwiseAggregate(net *congest.Network, part *Partition, sc *Shortcut, x []
 				switch {
 				case val == identityHint:
 					// A pure relay subtree contributed nothing.
-				case acc[ri] == identityHint:
-					acc[ri] = val
+				case pl.acc[ri] == identityHint:
+					pl.acc[ri] = val
 				default:
-					acc[ri] = op(acc[ri], val)
+					pl.acc[ri] = op(pl.acc[ri], val)
 				}
-				pend[ri]--
+				pl.pend[ri]--
 			case tagDown:
-				result[ri] = val
-				haveResult[ri] = true
+				pl.result[ri] = val
+				pl.haveResult[ri] = true
 				// Forward downward on all child edges (enqueued once).
 			}
 		}
 		// Role transitions.
-		for _, ri := range rolesAt[v] {
-			r := roles[ri]
-			if pend[ri] == 0 && !started[ri] {
-				started[ri] = true
+		for _, ri := range pl.rolesAt[v] {
+			r := pl.roles[ri]
+			if pl.pend[ri] == 0 && !pl.started[ri] {
+				pl.started[ri] = true
 				if r.parentEdge >= 0 {
-					push(v, r.parentEdge, []Word{tagUp, Word(r.part), acc[ri]})
+					push(v32, r.parentEdge, tagUp, Word(r.part), pl.acc[ri])
 				} else {
-					result[ri] = acc[ri]
-					haveResult[ri] = true
+					pl.result[ri] = pl.acc[ri]
+					pl.haveResult[ri] = true
 				}
 			}
 		}
 		// Downward forwarding: a role with a fresh result sends it to all
-		// children exactly once (children tracked via pend==<0 sentinel).
-		for _, ri := range rolesAt[v] {
-			if haveResult[ri] && pend[ri] != -1 {
-				pend[ri] = -1
-				p := roles[ri].part
+		// children exactly once (children tracked via pend==-1 sentinel).
+		for _, ri := range pl.rolesAt[v] {
+			if pl.haveResult[ri] && pl.pend[ri] != -1 {
+				pl.pend[ri] = -1
+				p := pl.roles[ri].part
 				// Enqueue to every child edge of this role's tree.
-				for _, id := range g.Incident(v) {
-					u := g.Edges[id].Other(v)
-					if cri, ok := roleIdx[[2]int{p, u}]; ok && roles[cri].parentEdge == id {
-						push(v, id, []Word{tagDown, Word(p), result[ri]})
+				for _, h := range g.Row(v) {
+					if cri := pl.roleOf(p, h.To); cri >= 0 && pl.roles[cri].parentEdge == h.ID {
+						push(v32, h.ID, tagDown, Word(p), pl.result[ri])
 					}
 				}
 			}
 		}
 		// Emit one queued message per incident edge.
-		var out []congest.Msg
+		out := net.OutBuf(v)
 		active := false
-		for _, id := range g.Incident(v) {
-			q := queues[v][id]
-			if len(q) == 0 {
+		for _, h := range g.Row(v) {
+			dir := int32(0)
+			if vs[h.ID] == v32 {
+				dir = 1
+			}
+			slot := 2*h.ID + dir
+			q, head := pl.queues[slot], pl.heads[slot]
+			if int(head) >= len(q) {
 				continue
 			}
-			out = append(out, q[0])
-			queues[v][id] = q[1:]
-			if len(q) > 1 {
+			out = append(out, q[head])
+			pl.heads[slot] = head + 1
+			if int(head)+1 < len(q) {
 				active = true
 			}
 		}
 		return out, active || len(out) > 0
 	}
-	maxRounds := int64(8*(g.N+g.M()) + 16*len(roles) + 64)
+	maxRounds := int64(8*(g.N+g.M()) + 16*len(pl.roles) + 64)
 	if err := net.Run(handler, nil, maxRounds); err != nil {
 		return nil, err
 	}
@@ -169,17 +250,29 @@ func PartwiseAggregate(net *congest.Network, part *Partition, sc *Shortcut, x []
 		if part.Of[v] < 0 {
 			continue
 		}
-		ri, ok := roleIdx[[2]int{part.Of[v], v}]
-		if !ok || !haveResult[ri] {
+		ri := pl.roleOf(int32(part.Of[v]), int32(v))
+		if ri < 0 || !pl.haveResult[ri] {
 			missing++
 			continue
 		}
-		out[v] = result[ri]
+		out[v] = pl.result[ri]
 	}
 	if missing > 0 {
 		return nil, fmt.Errorf("shortcuts: %d vertices missed their part aggregate", missing)
 	}
 	return out, nil
+}
+
+// PartwiseAggregate combines one value per member vertex within every part
+// (over G[V_p]+H_p) and delivers the result to all members, simultaneously
+// for all parts. The simulation is contention-faithful: every graph edge
+// carries at most one message per direction per round regardless of how
+// many parts route through it, so the measured rounds reflect the realized
+// alpha-congestion beta-dilation of the shortcut. Repeated aggregations
+// over one (partition, shortcut) pair should build an AggPlan once and
+// call Aggregate on it.
+func PartwiseAggregate(net *congest.Network, part *Partition, sc *Shortcut, x []Word, op Combine) ([]Word, error) {
+	return NewAggPlan(net.G, part, sc).Aggregate(net, x, op)
 }
 
 // identityHint marks a relay role that holds no contribution of its own;
@@ -203,7 +296,7 @@ func LeaderBroadcast(net *congest.Network, part *Partition, sc *Shortcut, perPar
 			leaderOf[p] = v
 		}
 	}
-	// partSubgraph uses the first member as leader; mirror that choice.
+	// The part tree uses the first member as leader; mirror that choice.
 	for p, lv := range leaderOf {
 		x[lv] = perPart[p]
 	}

@@ -18,7 +18,7 @@ package shortcuts
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"twoecss/internal/congest"
 	"twoecss/internal/graph"
@@ -30,6 +30,9 @@ import (
 type Partition struct {
 	Of    []int // vertex -> part id
 	Parts int
+	// Members[p] lists part p's vertices in ascending order. Built once by
+	// NewPartition so per-part passes need no O(n * parts) rescans of Of.
+	Members [][]int
 }
 
 // NewPartition validates and wraps a part assignment.
@@ -43,35 +46,41 @@ func NewPartition(g *graph.Graph, of []int) (*Partition, error) {
 			parts = p + 1
 		}
 	}
-	// Connectivity check per part.
 	members := make([][]int, parts)
 	for v, p := range of {
 		if p >= 0 {
 			members[p] = append(members[p], v)
 		}
 	}
+	// Connectivity check per part, over the CSR rows with flat scratch.
+	seen := make([]bool, g.N)
+	stack := make([]int, 0, g.N)
 	for p, ms := range members {
 		if len(ms) == 0 {
 			continue
 		}
-		seen := map[int]bool{ms[0]: true}
-		stack := []int{ms[0]}
+		seen[ms[0]] = true
+		stack = append(stack[:0], ms[0])
+		reached := 1
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, id := range g.Incident(v) {
-				u := g.Edges[id].Other(v)
-				if of[u] == p && !seen[u] {
+			for _, h := range g.Row(v) {
+				if u := int(h.To); of[u] == p && !seen[u] {
 					seen[u] = true
+					reached++
 					stack = append(stack, u)
 				}
 			}
 		}
-		if len(seen) != len(ms) {
+		if reached != len(ms) {
 			return nil, fmt.Errorf("shortcuts: part %d is disconnected", p)
 		}
+		for _, v := range ms {
+			seen[v] = false
+		}
 	}
-	return &Partition{Of: of, Parts: parts}, nil
+	return &Partition{Of: of, Parts: parts, Members: members}, nil
 }
 
 // Shortcut is the per-part auxiliary edge sets plus realized quality.
@@ -100,83 +109,136 @@ type Builder interface {
 	Name() string
 }
 
-// partSubgraph returns, for part p, the adjacency over G[V_p] + H_p as
-// edge-id lists per vertex, plus the member set.
-func partSubgraph(g *graph.Graph, part *Partition, hp []int, p int) (map[int][]int, []int) {
-	adj := map[int][]int{}
-	addEdge := func(id int) {
-		e := g.Edges[id]
-		adj[e.U] = append(adj[e.U], id)
-		adj[e.V] = append(adj[e.V], id)
+// partAdj is the reusable flat adjacency of one part subgraph G[V_p]+H_p.
+// Per-vertex edge-id lists and the dedup'd edge set are rebuilt in place
+// per part via epoch stamps (no maps, no per-part allocation in steady
+// state); the embedded BFS scratch serves the dilation measurements and
+// the per-part tree builds. One partAdj serves one loop over parts at a
+// time; it is not safe for concurrent use.
+type partAdj struct {
+	ids     [][]int32 // per vertex: incident edge ids (valid iff stamped)
+	vertEp  []int32   // vertex epoch stamps
+	edgeEp  []int32   // edge epoch stamps
+	epoch   int32
+	touched []int32 // vertices with stamped ids, in first-touch order
+	edges   []int32 // dedup'd edge ids of this part, in scan order
+
+	// BFS scratch over the part subgraph, epoch-stamped like ids.
+	dist   []int32
+	distEp []int32
+	queue  []int32
+}
+
+// build assembles the adjacency of G[V_p]+H_p, matching the legacy
+// map-based construction order exactly: intra-part edges in ascending
+// member order then incident order (first encounter wins), then the
+// shortcut edges hp in the given order; every edge is appended to both
+// endpoint lists at first encounter.
+func (pa *partAdj) build(g *graph.Graph, part *Partition, hp []int, p int) {
+	n, m := g.N, g.M()
+	if len(pa.ids) < n {
+		pa.ids = make([][]int32, n)
+		pa.vertEp = make([]int32, n)
+		pa.dist = make([]int32, n)
+		pa.distEp = make([]int32, n)
 	}
-	seenEdge := map[int]bool{}
-	for v, q := range part.Of {
-		if q != p {
-			continue
+	if len(pa.edgeEp) < m {
+		pa.edgeEp = make([]int32, m)
+	}
+	pa.epoch++
+	if pa.epoch <= 0 { // wrapped: invalidate all stamps once
+		for i := range pa.vertEp {
+			pa.vertEp[i] = 0
+			pa.distEp[i] = 0
 		}
-		for _, id := range g.Incident(v) {
-			e := g.Edges[id]
-			if part.Of[e.U] == p && part.Of[e.V] == p && !seenEdge[id] {
-				seenEdge[id] = true
-				addEdge(id)
+		for i := range pa.edgeEp {
+			pa.edgeEp[i] = 0
+		}
+		pa.epoch = 1
+	}
+	pa.touched = pa.touched[:0]
+	pa.edges = pa.edges[:0]
+	us, vs := g.Endpoints()
+	add := func(id int32) {
+		pa.edges = append(pa.edges, id)
+		for _, x := range [2]int32{us[id], vs[id]} {
+			if pa.vertEp[x] != pa.epoch {
+				pa.vertEp[x] = pa.epoch
+				pa.ids[x] = pa.ids[x][:0]
+				pa.touched = append(pa.touched, x)
+			}
+			pa.ids[x] = append(pa.ids[x], id)
+		}
+	}
+	for _, v := range part.Members[p] {
+		for _, h := range g.Row(v) {
+			if part.Of[h.To] == p && pa.edgeEp[h.ID] != pa.epoch {
+				pa.edgeEp[h.ID] = pa.epoch
+				add(h.ID)
 			}
 		}
 	}
 	for _, id := range hp {
-		if !seenEdge[id] {
-			seenEdge[id] = true
-			addEdge(id)
+		if pa.edgeEp[id] != pa.epoch {
+			pa.edgeEp[id] = int32(pa.epoch)
+			add(int32(id))
 		}
 	}
-	var members []int
-	for v, q := range part.Of {
-		if q == p {
-			members = append(members, v)
+}
+
+// row returns the part-subgraph edge ids of v (empty if untouched).
+func (pa *partAdj) row(v int32) []int32 {
+	if pa.vertEp[v] != pa.epoch {
+		return nil
+	}
+	return pa.ids[v]
+}
+
+// bfsFromLeader runs a BFS over the part subgraph from the part leader,
+// stamping pa.dist, and returns the eccentricity of the leader and the
+// number of reached vertices.
+func (pa *partAdj) bfsFromLeader(g *graph.Graph, leader int) (far, reached int) {
+	us, vs := g.Endpoints()
+	pa.distEp[leader] = pa.epoch
+	pa.dist[leader] = 0
+	pa.queue = append(pa.queue[:0], int32(leader))
+	for head := 0; head < len(pa.queue); head++ {
+		v := pa.queue[head]
+		d := pa.dist[v] + 1
+		for _, id := range pa.row(v) {
+			u := us[id] ^ vs[id] ^ v
+			if pa.distEp[u] != pa.epoch {
+				pa.distEp[u] = pa.epoch
+				pa.dist[u] = d
+				if int(d) > far {
+					far = int(d)
+				}
+				pa.queue = append(pa.queue, u)
+			}
 		}
 	}
-	return adj, members
+	return far, len(pa.queue)
 }
 
 // measure computes realized alpha and beta and verifies every part is
 // connected within G[V_p]+H_p.
 func measure(g *graph.Graph, part *Partition, edgesOf [][]int) (int, int, error) {
-	use := map[int]int{}
+	use := make([]int32, g.M())
 	beta := 0
+	var pa partAdj
 	for p := 0; p < part.Parts; p++ {
-		adj, members := partSubgraph(g, part, edgesOf[p], p)
+		members := part.Members[p]
 		if len(members) == 0 {
 			continue
 		}
-		seenEdge := map[int]bool{}
-		for _, ids := range adj {
-			for _, id := range ids {
-				if !seenEdge[id] {
-					seenEdge[id] = true
-					use[id]++
-				}
-			}
+		pa.build(g, part, edgesOf[p], p)
+		for _, id := range pa.edges {
+			use[id]++
 		}
 		// BFS from the leader over the part subgraph.
-		leader := members[0]
-		dist := map[int]int{leader: 0}
-		queue := []int{leader}
-		far := 0
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			for _, id := range adj[v] {
-				u := g.Edges[id].Other(v)
-				if _, ok := dist[u]; !ok {
-					dist[u] = dist[v] + 1
-					if dist[u] > far {
-						far = dist[u]
-					}
-					queue = append(queue, u)
-				}
-			}
-		}
+		far, _ := pa.bfsFromLeader(g, members[0])
 		for _, v := range members {
-			if _, ok := dist[v]; !ok {
+			if pa.distEp[v] != pa.epoch {
 				return 0, 0, fmt.Errorf("shortcuts: part %d not connected with its shortcut", p)
 			}
 		}
@@ -184,7 +246,7 @@ func measure(g *graph.Graph, part *Partition, edgesOf [][]int) (int, int, error)
 			beta = 2 * far
 		}
 	}
-	alpha := 0
+	alpha := int32(0)
 	for _, c := range use {
 		if c > alpha {
 			alpha = c
@@ -196,7 +258,7 @@ func measure(g *graph.Graph, part *Partition, edgesOf [][]int) (int, int, error)
 	if alpha == 0 {
 		alpha = 1
 	}
-	return alpha, beta, nil
+	return int(alpha), beta, nil
 }
 
 // TrivialBuilder assigns no shortcut edges: beta equals the largest part
@@ -270,12 +332,7 @@ func (b *SteinerBuilder) Name() string { return "steiner" }
 func (b *SteinerBuilder) Build(part *Partition) (*Shortcut, error) {
 	edgesOf := make([][]int, part.Parts)
 	for p := 0; p < part.Parts; p++ {
-		var members []int
-		for v, q := range part.Of {
-			if q == p {
-				members = append(members, v)
-			}
-		}
+		members := part.Members[p]
 		if len(members) <= 1 {
 			continue
 		}
@@ -296,7 +353,7 @@ func (b *SteinerBuilder) Build(part *Partition) (*Shortcut, error) {
 				ids = append(ids, id)
 			}
 		}
-		sort.Ints(ids)
+		slices.Sort(ids)
 		edgesOf[p] = ids
 	}
 	alpha, beta, err := measure(b.G, part, edgesOf)

@@ -97,6 +97,39 @@ type Tools struct {
 	// MaxQuality records the largest realized alpha+beta over all
 	// shortcut constructions performed by the tools.
 	MaxQuality int
+
+	// levels caches, per hierarchy level, the partition, its shortcut, and
+	// the part-wise aggregation plan. The hierarchy and builder are fixed
+	// for the lifetime of the Tools, so construction runs once; every
+	// billLevels call still simulates the aggregation messages and bills
+	// the construction charge gamma, exactly as the uncached version did.
+	levels []levelState
+}
+
+type levelState struct {
+	part *Partition
+	sc   *Shortcut
+	plan *AggPlan
+}
+
+// ensureLevels builds the per-level cache on first use.
+func (tl *Tools) ensureLevels() error {
+	if tl.levels != nil {
+		return nil
+	}
+	tl.levels = make([]levelState, 0, len(tl.H.Levels)-1)
+	for _, lv := range tl.H.Levels[1:] {
+		part, err := NewPartition(tl.Net.G, lv)
+		if err != nil {
+			return err
+		}
+		sc, err := tl.Builder.Build(part)
+		if err != nil {
+			return err
+		}
+		tl.levels = append(tl.levels, levelState{part: part, sc: sc, plan: NewAggPlan(tl.Net.G, part, sc)})
+	}
+	return nil
 }
 
 // NewTools prepares the tool context (building the hierarchy).
@@ -113,24 +146,19 @@ func NewTools(net *congest.Network, t *tree.Rooted, b Builder) (*Tools, error) {
 // O~(SC(G)) round bill of Theorems 5.1/5.2 with the realized shortcut
 // quality, and returns the maximum realized alpha+beta over levels.
 func (tl *Tools) billLevels(payload []Word) (int, error) {
+	if err := tl.ensureLevels(); err != nil {
+		return 0, err
+	}
 	maxQ := 0
 	or := func(a, b Word) Word { return a | b }
-	for _, lv := range tl.H.Levels[1:] {
-		part, err := NewPartition(tl.Net.G, lv)
-		if err != nil {
+	for _, ls := range tl.levels {
+		if err := tl.Net.Charge(ls.sc.BuildRounds, "shortcut construction (gamma)"); err != nil {
 			return 0, err
 		}
-		sc, err := tl.Builder.Build(part)
-		if err != nil {
+		if _, err := ls.plan.Aggregate(tl.Net, payload, or); err != nil {
 			return 0, err
 		}
-		if err := tl.Net.Charge(sc.BuildRounds, "shortcut construction (gamma)"); err != nil {
-			return 0, err
-		}
-		if _, err := PartwiseAggregate(tl.Net, part, sc, payload, or); err != nil {
-			return 0, err
-		}
-		if q := sc.Quality(); q > maxQ {
+		if q := ls.sc.Quality(); q > maxQ {
 			maxQ = q
 		}
 	}

@@ -2,7 +2,7 @@ package tap
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"twoecss/internal/congest"
 	"twoecss/internal/layering"
@@ -176,10 +176,10 @@ func (s *Solver) globalCandidates(layer int, htilde []bool, pet map[int]layering
 			})
 		}
 	}
-	if _, err := primitives.GatherBroadcast(s.Net, s.BFS, perNode); err != nil {
+	if err := primitives.GatherBroadcastAll(s.Net, s.BFS, perNode); err != nil {
 		return nil, err
 	}
-	sort.Ints(tprime)
+	slices.Sort(tprime)
 	return tprime, nil
 }
 
@@ -328,7 +328,7 @@ func (s *Solver) cleaning(k int, fs *forwardState, anchors []anchor, inY []bool)
 		dec := s.VG.VEdges[ve].Dec
 		perNode[dec] = append(perNode[dec], primitives.Item{congest.Word(ve)})
 	}
-	if _, err := primitives.GatherBroadcast(s.Net, s.BFS, perNode); err != nil {
+	if err := primitives.GatherBroadcastAll(s.Net, s.BFS, perNode); err != nil {
 		return err
 	}
 	return nil

@@ -2,7 +2,7 @@ package tap
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // SolveWeighted runs the full weighted TAP algorithm (forward + reverse-
@@ -44,7 +44,7 @@ func (s *Solver) assemble(fs *forwardState, inB []bool, eps float64, revIters in
 			res.VirtWeight += int64(s.VG.VEdges[ve].W)
 		}
 	}
-	sort.Ints(res.VEdges)
+	slices.Sort(res.VEdges)
 	res.OrigEdges = s.VG.Project(res.VEdges)
 	for _, id := range res.OrigEdges {
 		res.Weight += int64(s.T.G.Edges[id].W)

@@ -2,7 +2,7 @@ package tap
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"twoecss/internal/layering"
 )
@@ -95,7 +95,7 @@ func (s *Solver) SolveUnweighted() (*UnweightedResult, error) {
 			res.VEdges = append(res.VEdges, ve)
 		}
 	}
-	sort.Ints(res.VEdges)
+	slices.Sort(res.VEdges)
 	res.OrigEdges = s.VG.Project(res.VEdges)
 	return res, nil
 }

@@ -14,7 +14,7 @@ package vgraph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"twoecss/internal/graph"
 	"twoecss/internal/lca"
@@ -119,7 +119,7 @@ func (vg *VGraph) CoverIndex() [][]int {
 		}
 	}
 	for v := range idx {
-		sort.Ints(idx[v])
+		slices.Sort(idx[v])
 	}
 	return idx
 }
@@ -159,7 +159,7 @@ func (vg *VGraph) Project(ves []int) []int {
 			out = append(out, o)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
