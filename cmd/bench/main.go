@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	bench [-seed N] [-only E3] [-workers K] [-json BENCH_PR1.json]
+//	bench [-seed N] [-only E1,E4] [-workers K] [-json BENCH_PR1.json]
+//
+// -only takes a comma-separated list of experiment ids; with no -only every
+// experiment runs.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"twoecss/internal/experiments"
@@ -52,29 +56,41 @@ func main() {
 
 func run() error {
 	seed := flag.Int64("seed", 1, "random seed for instance generation")
-	only := flag.String("only", "", "run a single experiment id (e.g. E3)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4)")
 	workers := flag.Int("workers", 0, "experiment-cell worker pool size (<=0: GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark trajectory to this file")
 	flag.Parse()
 
 	experiments.Workers = *workers
 	specs := experiments.Specs()
+	var onlySet map[string]bool
 	if *only != "" {
-		known := false
-		for _, sp := range specs {
-			if sp.ID == *only {
-				known = true
-				break
+		onlySet = make(map[string]bool)
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
 			}
+			known := false
+			for _, sp := range specs {
+				if sp.ID == id {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return fmt.Errorf("unknown experiment id %q (known: %s..%s)",
+					id, specs[0].ID, specs[len(specs)-1].ID)
+			}
+			onlySet[id] = true
 		}
-		if !known {
-			return fmt.Errorf("unknown experiment id %q (known: %s..%s)",
-				*only, specs[0].ID, specs[len(specs)-1].ID)
+		if len(onlySet) == 0 {
+			return fmt.Errorf("-only %q lists no experiment ids", *only)
 		}
 	}
 	traj := trajectory{Seed: *seed, Workers: *workers, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	for _, sp := range specs {
-		if *only != "" && sp.ID != *only {
+		if onlySet != nil && !onlySet[sp.ID] {
 			continue
 		}
 		var before, after runtime.MemStats

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ecss [-family er|grid|ring|treeleafcycle|random] [-n 256] [-seed 1]
+//	ecss [-family er|grid|ring|treeleafcycle|random|ba] [-n 256] [-seed 1]
 //	     [-eps 0.25] [-variant cover2|cover4] [-boruvka]
 package main
 
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"twoecss/internal/ecss"
 	"twoecss/internal/graph"
@@ -27,7 +28,7 @@ func main() {
 }
 
 func run() error {
-	famName := flag.String("family", "er", "graph family")
+	famName := flag.String("family", "er", "graph family ("+strings.Join(graph.Families(), "|")+")")
 	n := flag.Int("n", 256, "number of vertices")
 	seed := flag.Int64("seed", 1, "generator seed")
 	eps := flag.Float64("eps", 0.25, "approximation slack")
@@ -35,7 +36,7 @@ func run() error {
 	boruvka := flag.Bool("boruvka", false, "simulate the Boruvka MST at message level")
 	flag.Parse()
 
-	g, err := makeGraph(*famName, *n, *seed)
+	g, err := graph.ByFamily(*famName, *n, *seed)
 	if err != nil {
 		return err
 	}
@@ -81,32 +82,4 @@ func run() error {
 		fmt.Printf("  %-22s sim=%-8d charged=%-8d msgs=%d\n", ph.Name, ph.Simulated, ph.Charged, ph.Messages)
 	}
 	return nil
-}
-
-func makeGraph(fam string, n int, seed int64) (*graph.Graph, error) {
-	cfg := graph.DefaultGenConfig(seed)
-	switch fam {
-	case "er":
-		p := 4 * math.Log(float64(n)) / float64(n)
-		g := graph.ErdosRenyi(n, p, cfg)
-		_, err := graph.Ensure2EC(g, cfg)
-		return g, err
-	case "grid":
-		side := int(math.Sqrt(float64(n)))
-		return graph.Grid(side, side, cfg), nil
-	case "ring":
-		return graph.RingWithChords(n, n/4, cfg), nil
-	case "treeleafcycle":
-		depth := 1
-		for (1<<(depth+2))-1 <= n {
-			depth++
-		}
-		return graph.TreeLeafCycle(depth, cfg), nil
-	case "random":
-		g := graph.RandomSpanningTreePlus(n, n, cfg)
-		_, err := graph.Ensure2EC(g, cfg)
-		return g, err
-	default:
-		return nil, fmt.Errorf("unknown family %q", fam)
-	}
 }

@@ -1,0 +1,107 @@
+// Command ecssd is the long-running 2-ECSS solver service: it fronts the
+// Theorem 1.1 pipeline with a bounded job queue, a solver worker pool
+// reusing pooled CONGEST networks, and a content-addressed result cache
+// (internal/service, DESIGN.md §7), exposed as an HTTP JSON API:
+//
+//	POST /v1/solve     submit a solve ({"graph":{"n":..,"edges":[[u,v,w],..]},
+//	                   "options":{"eps":..,"variant":..,"mst":..,"root":..},
+//	                   "wait":true})
+//	GET  /v1/jobs/{id} job status, progress phase, and result
+//	GET  /v1/stats     queue/cache/pool counters
+//	GET  /healthz      liveness
+//
+// SIGINT/SIGTERM triggers a graceful drain: admission stops (503), queued
+// jobs finish, the network pool is released, then the process exits 0.
+//
+// Usage:
+//
+//	ecssd [-addr :8080] [-queue 256] [-workers N] [-cache 512] [-pool N]
+//	      [-net-workers 1] [-drain-timeout 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"twoecss/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ecssd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 256, "job queue depth (admission bound)")
+	workers := flag.Int("workers", 0, "solver workers (<=0: GOMAXPROCS)")
+	cache := flag.Int("cache", 512, "result cache entries")
+	pool := flag.Int("pool", 0, "idle network pool entries (<=0: workers)")
+	netWorkers := flag.Int("net-workers", 1, "engine workers per solve")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		CacheEntries: *cache,
+		PoolEntries:  *pool,
+		NetWorkers:   *netWorkers,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Bound header reads and idle keep-alives so a stalled client
+		// cannot hold Shutdown past the drain budget. No overall
+		// Read/WriteTimeout: wait=true solve requests legitimately block.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe()
+	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := svc.Config()
+	log.Printf("ecssd: listening on %s (workers=%d queue=%d cache=%d pool=%d net-workers=%d)",
+		*addr, cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, cfg.PoolEntries, cfg.NetWorkers)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	log.Printf("ecssd: signal received, draining (budget %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the service first so in-flight wait=true requests complete as
+	// their jobs finish and new submissions are rejected with 503; then
+	// close the listener and idle connections.
+	if err := svc.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := svc.Stats()
+	log.Printf("ecssd: drained clean: %d submitted, %d solves, %d cache hits, %d coalesced, %d failed",
+		st.Submitted, st.Solves, st.CacheHits, st.Coalesced, st.Failed)
+	return nil
+}

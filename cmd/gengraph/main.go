@@ -4,15 +4,15 @@
 //
 // Usage:
 //
-//	gengraph [-family er|grid|ring|treeleafcycle|random] [-n 256] [-seed 1]
+//	gengraph [-family er|grid|ring|treeleafcycle|random|ba] [-n 256] [-seed 1]
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"strings"
 
 	"twoecss/internal/graph"
 )
@@ -25,38 +25,14 @@ func main() {
 }
 
 func run() error {
-	fam := flag.String("family", "er", "graph family")
+	fam := flag.String("family", "er", "graph family ("+strings.Join(graph.Families(), "|")+")")
 	n := flag.Int("n", 256, "number of vertices")
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
 
-	cfg := graph.DefaultGenConfig(*seed)
-	var g *graph.Graph
-	switch *fam {
-	case "er":
-		p := 4 * math.Log(float64(*n)) / float64(*n)
-		g = graph.ErdosRenyi(*n, p, cfg)
-		if _, err := graph.Ensure2EC(g, cfg); err != nil {
-			return err
-		}
-	case "grid":
-		side := int(math.Sqrt(float64(*n)))
-		g = graph.Grid(side, side, cfg)
-	case "ring":
-		g = graph.RingWithChords(*n, *n/4, cfg)
-	case "treeleafcycle":
-		depth := 1
-		for (1<<(depth+2))-1 <= *n {
-			depth++
-		}
-		g = graph.TreeLeafCycle(depth, cfg)
-	case "random":
-		g = graph.RandomSpanningTreePlus(*n, *n, cfg)
-		if _, err := graph.Ensure2EC(g, cfg); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown family %q", *fam)
+	g, err := graph.ByFamily(*fam, *n, *seed)
+	if err != nil {
+		return err
 	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()

@@ -1,0 +1,248 @@
+// Command loadgen drives a live ecssd with a concurrent mixed-graph-family
+// workload and reports throughput, latency percentiles, and the cache hit
+// ratio. The workload is a matrix of (family, seed) instances generated
+// with graph.ByFamily — the same deterministic construction the rest of the
+// repository uses — so replaying a seed re-submits a content-identical
+// graph and exercises the service's content-addressed cache.
+//
+// With -min-cache-hits >= 0 the process exits nonzero unless the server
+// reports at least that many cache hits (CI smoke uses this).
+//
+// Usage:
+//
+//	loadgen [-addr http://127.0.0.1:8080] [-duration 10s] [-concurrency 8]
+//	        [-n 96] [-families er,grid,ring,random,ba] [-seeds 4]
+//	        [-eps 0.25] [-min-cache-hits -1]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"twoecss/internal/graph"
+	"twoecss/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type workItem struct {
+	name string
+	body []byte
+}
+
+type sample struct {
+	ns     int64
+	cached bool
+}
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "ecssd base URL")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	n := flag.Int("n", 96, "vertices per instance")
+	families := flag.String("families", "er,grid,ring,random,ba", "comma-separated graph families")
+	seeds := flag.Int("seeds", 4, "seeds per family (workload matrix size = families x seeds)")
+	eps := flag.Float64("eps", 0.25, "approximation slack")
+	minCacheHits := flag.Int64("min-cache-hits", -1, "fail unless the server reports at least this many cache hits (<0: no check)")
+	flag.Parse()
+
+	items, err := buildWorkload(*families, *n, *seeds, *eps)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	if err := waitHealthy(client, *addr, 15*time.Second); err != nil {
+		return err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		samples  []sample
+		failures int
+		firstErr error
+	)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			var local []sample
+			localFail := 0
+			var localErr error
+			for time.Now().Before(deadline) {
+				it := items[rng.Intn(len(items))]
+				t0 := time.Now()
+				cached, err := postSolve(client, *addr, it.body)
+				ns := time.Since(t0).Nanoseconds()
+				if err != nil {
+					localFail++
+					if localErr == nil {
+						localErr = fmt.Errorf("%s: %w", it.name, err)
+					}
+					continue
+				}
+				local = append(local, sample{ns: ns, cached: cached})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			failures += localFail
+			if firstErr == nil {
+				firstErr = localErr
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if len(samples) == 0 {
+		if firstErr != nil {
+			return fmt.Errorf("no request succeeded: %w", firstErr)
+		}
+		return fmt.Errorf("no request completed within %s", *duration)
+	}
+	report(samples, failures, wall, len(items))
+	if firstErr != nil {
+		fmt.Printf("first error:   %v\n", firstErr)
+	}
+
+	st, err := fetchStats(client, *addr)
+	if err != nil {
+		return fmt.Errorf("fetch server stats: %w", err)
+	}
+	fmt.Printf("server stats:  %d submitted, %d solves, %d cache hits, %d coalesced, %d failed, pool %d/%d reuse/create\n",
+		st.Submitted, st.Solves, st.CacheHits, st.Coalesced, st.Failed, st.Pool.Reuses, st.Pool.Creates)
+	if *minCacheHits >= 0 && st.CacheHits < *minCacheHits {
+		return fmt.Errorf("server reports %d cache hits, need >= %d", st.CacheHits, *minCacheHits)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d requests failed", failures)
+	}
+	return nil
+}
+
+func buildWorkload(families string, n, seeds int, eps float64) ([]workItem, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("need seeds >= 1, got %d", seeds)
+	}
+	var items []workItem
+	for _, fam := range strings.Split(families, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			continue
+		}
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			g, err := graph.ByFamily(fam, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			body, err := json.Marshal(service.SolveRequest{
+				Graph:   service.WireGraph(g),
+				Options: service.OptionsWire{Eps: eps},
+				Wait:    true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, workItem{name: fmt.Sprintf("%s/n%d/s%d", fam, g.N, seed), body: body})
+		}
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("empty workload (families %q)", families)
+	}
+	return items, nil
+}
+
+func waitHealthy(client *http.Client, addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ecssd at %s not healthy within %s (last: %v)", addr, budget, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func postSolve(client *http.Client, addr string, body []byte) (cached bool, err error) {
+	resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var jr service.JobResponse
+	err = json.NewDecoder(resp.Body).Decode(&jr)
+	// Drain to EOF so the connection is reused; otherwise chunked responses
+	// force a fresh dial per request and skew the latency measurement.
+	io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return false, fmt.Errorf("decode response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, jr.Error)
+	}
+	if jr.Status != service.StatusDone {
+		return false, fmt.Errorf("job %s finished %s: %s", jr.JobID, jr.Status, jr.Error)
+	}
+	return jr.Cached, nil
+}
+
+func fetchStats(client *http.Client, addr string) (service.Stats, error) {
+	var st service.Stats
+	resp, err := client.Get(addr + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func report(samples []sample, failures int, wall time.Duration, workloadSize int) {
+	lat := make([]int64, len(samples))
+	cached := 0
+	for i, s := range samples {
+		lat[i] = s.ns
+		if s.cached {
+			cached++
+		}
+	}
+	slices.Sort(lat)
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(lat)-1))
+		return time.Duration(lat[idx])
+	}
+	fmt.Printf("workload:      %d distinct instances\n", workloadSize)
+	fmt.Printf("requests:      %d ok, %d failed in %s (%.1f req/s)\n",
+		len(samples), failures, wall.Round(time.Millisecond), float64(len(samples))/wall.Seconds())
+	fmt.Printf("latency:       p50 %s  p90 %s  p99 %s  max %s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), time.Duration(lat[len(lat)-1]).Round(time.Microsecond))
+	fmt.Printf("client cache:  %d/%d hit responses (%.1f%%)\n",
+		cached, len(samples), 100*float64(cached)/float64(len(samples)))
+}

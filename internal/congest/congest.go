@@ -128,6 +128,19 @@ func (n *Network) Close() {
 // Stats returns a copy of the accumulated statistics.
 func (n *Network) Stats() Stats { return n.stats }
 
+// ResetAccounting zeroes the Network's cost accounting — stats, recorded
+// phase spans, and any open phase — while keeping the engine scratch and
+// the persistent worker pool warm. It exists for callers that reuse one
+// Network across independent solves (the service layer's NetworkPool): each
+// solve then reports its own round and message bill as if the Network were
+// fresh. It must not be called concurrently with Run.
+func (n *Network) ResetAccounting() {
+	n.stats = Stats{}
+	n.mark = Stats{}
+	n.phases = n.phases[:0]
+	n.cur = ""
+}
+
 // Phases returns the per-phase accounting recorded via BeginPhase/EndPhase.
 func (n *Network) Phases() []PhaseSpan { return n.phases }
 

@@ -45,6 +45,13 @@ type Options struct {
 	// creates (<=0: GOMAXPROCS). Callers that already parallelize above
 	// the engine — like the experiment harness — set 1.
 	Workers int
+	// Progress, if non-nil, is invoked at the start of each pipeline stage
+	// ("bfs", "mst", "tap", "assemble") from the solving goroutine. The
+	// service layer uses it to surface per-job progress. Like Workers it is
+	// an execution knob, not part of result identity: the engine is
+	// deterministic for any worker count, so content-addressed caches key
+	// on the remaining fields only.
+	Progress func(stage string)
 }
 
 // DefaultOptions returns Theorem 1.1's configuration.
@@ -79,63 +86,103 @@ var ErrNot2EC = errors.New("ecss: input graph is not 2-edge-connected")
 // Solve runs the full pipeline of Theorem 1.1 on g and returns the solution
 // together with the network used (for round accounting inspection). The
 // caller owns the returned network and should Close it when done (see the
-// congest package docs on the worker-pool lifecycle).
+// congest package docs on the worker-pool lifecycle). Long-running callers
+// that reuse networks across solves use SolveOn directly.
 func Solve(g *graph.Graph, opt Options) (*Result, *congest.Network, error) {
+	net := congest.NewNetwork(g)
+	res, err := SolveOn(net, opt)
+	if err != nil {
+		net.Close()
+		return nil, nil, err
+	}
+	return res, net, nil
+}
+
+// SolveOn runs the full pipeline on a caller-provided network over the
+// instance net.G — typically one taken from a service NetworkPool whose
+// engine scratch and worker pool are already warm. The caller retains
+// ownership of net. Result.Stats is the cost delta of this call, so both
+// fresh and reused networks report per-solve bills; Result.Stats.
+// MaxEdgeWords is the network-lifetime maximum unless the caller calls
+// net.ResetAccounting between solves.
+func SolveOn(net *congest.Network, opt Options) (*Result, error) {
+	g := net.G
 	if opt.Eps <= 0 {
-		return nil, nil, fmt.Errorf("ecss: eps must be positive")
+		return nil, fmt.Errorf("ecss: eps must be positive")
 	}
 	if g.N < 3 {
-		return nil, nil, fmt.Errorf("ecss: need at least 3 vertices")
+		return nil, fmt.Errorf("ecss: need at least 3 vertices")
 	}
-	net := congest.NewNetwork(g)
 	if opt.Workers > 0 {
 		net.Workers = opt.Workers
 	}
+	step := func(stage string) {
+		if opt.Progress != nil {
+			opt.Progress(stage)
+		}
+	}
+	start := net.Stats()
+	step("bfs")
 	net.BeginPhase("bfs")
 	bfs, err := primitives.BuildBFS(net, opt.Root)
 	if err != nil {
 		if errors.Is(err, tree.ErrNotTree) {
-			return nil, nil, graph.ErrDisconnected
+			return nil, graph.ErrDisconnected
 		}
-		return nil, nil, err
+		return nil, err
 	}
 	net.EndPhase()
 
+	step("mst")
 	net.BeginPhase("mst")
 	var t *tree.Rooted
 	switch opt.MST {
 	case MSTSimulateBoruvka:
 		ids, err := mst.Boruvka(net, opt.Root)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		t, err = tree.NewFromEdgeSet(g, opt.Root, ids)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	default:
 		t, err = mst.KruskalTree(g, opt.Root, net)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	net.EndPhase()
 
+	step("tap")
 	solver, err := tap.NewSolver(net, bfs, t)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	tr, err := solver.SolveWeighted(opt.Eps, opt.Variant)
 	if err != nil {
 		if errors.Is(err, tap.ErrInfeasible) {
-			return nil, nil, ErrNot2EC
+			return nil, ErrNot2EC
 		}
-		return nil, nil, err
+		return nil, err
 	}
 
+	step("assemble")
 	res := assemble(g, t, tr)
-	res.Stats = net.Stats()
-	return res, net, nil
+	res.Stats = statsDelta(start, net.Stats())
+	return res, nil
+}
+
+// statsDelta subtracts the counter fields of start from end. MaxEdgeWords
+// is a running maximum, not a counter, so the end value is kept.
+func statsDelta(start, end congest.Stats) congest.Stats {
+	return congest.Stats{
+		SimulatedRounds: end.SimulatedRounds - start.SimulatedRounds,
+		ChargedRounds:   end.ChargedRounds - start.ChargedRounds,
+		Messages:        end.Messages - start.Messages,
+		Words:           end.Words - start.Words,
+		MaxEdgeWords:    end.MaxEdgeWords,
+	}
 }
 
 func assemble(g *graph.Graph, t *tree.Rooted, tr *tap.Result) *Result {
@@ -163,15 +210,35 @@ func assemble(g *graph.Graph, t *tree.Rooted, tr *tap.Result) *Result {
 	return res
 }
 
-// Verify checks that the returned edge set is a spanning 2-edge-connected
-// subgraph of g.
+// Verify checks that res is a well-formed spanning 2-edge-connected
+// subgraph of g: every edge id is in range and bought at most once (a
+// duplicated id would make a bridge look doubled and mask infeasibility),
+// the claimed weight matches the edge set, the subgraph spans g and is
+// connected, and no chosen edge is a bridge of the chosen subgraph.
 func Verify(g *graph.Graph, res *Result) error {
-	sub := g.Subgraph(res.Edges)
+	if res == nil {
+		return errors.New("ecss: nil result")
+	}
+	ids := slices.Clone(res.Edges)
+	slices.Sort(ids)
+	for i, id := range ids {
+		if id < 0 || id >= g.M() {
+			return fmt.Errorf("ecss: solution edge id %d out of range [0,%d)", id, g.M())
+		}
+		if i > 0 && ids[i-1] == id {
+			return fmt.Errorf("ecss: solution lists edge id %d twice (an edge may be bought once)", id)
+		}
+	}
+	if w := int64(g.TotalWeight(ids)); w != res.Weight {
+		return fmt.Errorf("ecss: claimed weight %d does not match edge set weight %d", res.Weight, w)
+	}
+	sub := g.Subgraph(ids)
 	if !sub.Connected() {
-		return fmt.Errorf("ecss: solution subgraph disconnected")
+		return fmt.Errorf("ecss: solution subgraph is not connected/spanning on %d vertices", g.N)
 	}
 	if br := sub.Bridges(); len(br) != 0 {
-		return fmt.Errorf("ecss: solution has %d bridges", len(br))
+		e := sub.Edges[br[0]]
+		return fmt.Errorf("ecss: solution is not 2-edge-connected: %d bridges (first {%d,%d})", len(br), e.U, e.V)
 	}
 	return nil
 }

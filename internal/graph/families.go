@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Families lists the named 2-edge-connected instance families understood by
+// ByFamily, in the order they are documented in command usage strings.
+func Families() []string {
+	return []string{"er", "grid", "ring", "treeleafcycle", "random", "ba"}
+}
+
+// ByFamily generates a 2-edge-connected instance of the named family with
+// roughly n vertices, deterministically from seed. It is the single source
+// of family dispatch shared by cmd/ecss, cmd/gengraph, and cmd/loadgen, so
+// equal (family, n, seed) triples produce the identical graph everywhere —
+// which is what makes a replayed workload hit the service's
+// content-addressed cache.
+func ByFamily(family string, n int, seed int64) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: family %q needs n >= 3, got %d", family, n)
+	}
+	cfg := DefaultGenConfig(seed)
+	switch family {
+	case "er":
+		p := 4 * math.Log(float64(n)) / float64(n)
+		g := ErdosRenyi(n, p, cfg)
+		_, err := Ensure2EC(g, cfg)
+		return g, err
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		if side < 2 {
+			side = 2
+		}
+		return Grid(side, side, cfg), nil
+	case "ring":
+		return RingWithChords(n, n/4, cfg), nil
+	case "treeleafcycle":
+		depth := 1
+		for (1<<(depth+2))-1 <= n {
+			depth++
+		}
+		return TreeLeafCycle(depth, cfg), nil
+	case "random":
+		g := RandomSpanningTreePlus(n, n, cfg)
+		_, err := Ensure2EC(g, cfg)
+		return g, err
+	case "ba":
+		g := BarabasiAlbert(n, 3, cfg)
+		_, err := Ensure2EC(g, cfg)
+		return g, err
+	default:
+		return nil, fmt.Errorf("graph: unknown family %q (known: %v)", family, Families())
+	}
+}

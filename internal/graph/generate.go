@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 )
 
 // WeightMode selects how generators assign edge weights.
@@ -248,6 +249,62 @@ func Dumbbell(k, bridgeLen int, cfg GenConfig) *Graph {
 	}
 	g.MustAddEdge(prev, k+bridgeLen, cfg.weight())
 	g.MustAddEdge(prev, k+bridgeLen, cfg.weight())
+	return g
+}
+
+// BarabasiAlbert generates a Barabási–Albert preferential-attachment graph:
+// a ring core on m+1 vertices (2-edge-connected seed), then each new vertex
+// attaches to m distinct existing vertices sampled with probability
+// proportional to their current degree via the standard repeated-endpoint
+// urn. The result is hub-dominated (power-law degree tail) with diameter
+// O(log n / log log n) — a scale-free low-diameter family complementing the
+// existing geometric and random ones. With m >= 2 the graph is usually
+// 2-edge-connected but not guaranteed; callers needing a guarantee run
+// Ensure2EC afterwards (the "ba" family in ByFamily does).
+func BarabasiAlbert(n, m int, cfg GenConfig) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	core := m + 1
+	if core < 3 {
+		core = 3
+	}
+	if core > n {
+		core = n
+	}
+	g := New(n)
+	// urn holds one entry per edge endpoint, so a uniform draw from it is a
+	// degree-proportional vertex draw.
+	urn := make([]int, 0, 2*(core+m*n))
+	switch {
+	case core >= 3:
+		for v := 0; v < core; v++ {
+			g.MustAddEdge(v, (v+1)%core, cfg.weight())
+			urn = append(urn, v, (v+1)%core)
+		}
+	case core == 2:
+		// Two vertices: a doubled edge keeps the core 2-edge-connected.
+		g.MustAddEdge(0, 1, cfg.weight())
+		g.MustAddEdge(0, 1, cfg.weight())
+		urn = append(urn, 0, 1, 0, 1)
+	}
+	var chosen []int
+	for v := core; v < n; v++ {
+		chosen = chosen[:0]
+		// v-1 >= core >= m+1 existing vertices, so m distinct targets exist
+		// and the rejection loop terminates.
+		for len(chosen) < m {
+			t := urn[cfg.Rng.Intn(len(urn))]
+			if slices.Contains(chosen, t) {
+				continue
+			}
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			g.MustAddEdge(v, t, cfg.weight())
+			urn = append(urn, v, t)
+		}
+	}
 	return g
 }
 

@@ -1,0 +1,78 @@
+package graph
+
+import "testing"
+
+func TestBarabasiAlbertShapeAndDeterminism(t *testing.T) {
+	const n, m = 200, 3
+	g := BarabasiAlbert(n, m, DefaultGenConfig(5))
+	if g.N != n {
+		t.Fatalf("got %d vertices, want %d", g.N, n)
+	}
+	core := m + 1
+	wantM := core + m*(n-core)
+	if g.M() != wantM {
+		t.Fatalf("got %d edges, want %d", g.M(), wantM)
+	}
+	if !g.Connected() {
+		t.Fatal("BA graph disconnected")
+	}
+	// Preferential attachment must produce hubs: the max degree far exceeds
+	// the mean (~2m) on 200 vertices for any seed that passes determinism.
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 4*m {
+		t.Fatalf("max degree %d shows no hub formation (mean ~%d)", maxDeg, 2*m)
+	}
+
+	// Same seed, same graph — byte-identical edge lists.
+	h := BarabasiAlbert(n, m, DefaultGenConfig(5))
+	if len(h.Edges) != len(g.Edges) {
+		t.Fatalf("edge count differs across identical seeds: %d vs %d", len(h.Edges), len(g.Edges))
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != h.Edges[i] {
+			t.Fatalf("edge %d differs across identical seeds: %v vs %v", i, g.Edges[i], h.Edges[i])
+		}
+	}
+	if g.Hash() != h.Hash() {
+		t.Fatal("hash differs across identical seeds")
+	}
+	if g.Hash() == BarabasiAlbert(n, m, DefaultGenConfig(6)).Hash() {
+		t.Fatal("different seeds produced the identical graph")
+	}
+}
+
+func TestBarabasiAlbertEnsure2EC(t *testing.T) {
+	for _, m := range []int{1, 2, 3} {
+		cfg := DefaultGenConfig(int64(10 + m))
+		g := BarabasiAlbert(120, m, cfg)
+		if _, err := Ensure2EC(g, cfg); err != nil {
+			t.Fatalf("m=%d: Ensure2EC: %v", m, err)
+		}
+		if !g.TwoEdgeConnected() {
+			t.Fatalf("m=%d: not 2-edge-connected after Ensure2EC", m)
+		}
+	}
+}
+
+func TestByFamilyAllFamilies2EC(t *testing.T) {
+	for _, fam := range Families() {
+		g, err := ByFamily(fam, 80, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if !g.TwoEdgeConnected() {
+			t.Fatalf("%s: instance not 2-edge-connected", fam)
+		}
+	}
+	if _, err := ByFamily("nope", 80, 3); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := ByFamily("er", 2, 3); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+}

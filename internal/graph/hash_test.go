@@ -1,0 +1,74 @@
+package graph
+
+import "testing"
+
+func TestHashIgnoresInsertionOrderAndOrientation(t *testing.T) {
+	a := New(5)
+	a.MustAddEdge(0, 1, 7)
+	a.MustAddEdge(1, 2, 3)
+	a.MustAddEdge(2, 3, 3)
+	a.MustAddEdge(3, 4, 9)
+	a.MustAddEdge(4, 0, 1)
+
+	b := New(5)
+	b.MustAddEdge(3, 2, 3) // flipped orientation
+	b.MustAddEdge(0, 4, 1)
+	b.MustAddEdge(1, 0, 7)
+	b.MustAddEdge(4, 3, 9)
+	b.MustAddEdge(2, 1, 3)
+
+	if a.Hash() != b.Hash() {
+		t.Fatal("hash differs across insertion order / orientation of the same edge multiset")
+	}
+}
+
+func TestHashDistinguishesContent(t *testing.T) {
+	base := New(4)
+	base.MustAddEdge(0, 1, 1)
+	base.MustAddEdge(1, 2, 1)
+	base.MustAddEdge(2, 0, 1)
+
+	weight := base.Clone()
+	weight.Edges[1].W = 2
+	if base.Hash() == weight.Hash() {
+		t.Fatal("hash ignores edge weights")
+	}
+
+	extra := base.Clone()
+	extra.MustAddEdge(2, 3, 1)
+	if base.Hash() == extra.Hash() {
+		t.Fatal("hash ignores an added edge")
+	}
+
+	// Parallel edges change the multiset even with identical triples.
+	dup := base.Clone()
+	dup.MustAddEdge(0, 1, 1)
+	if base.Hash() == dup.Hash() {
+		t.Fatal("hash ignores edge multiplicity")
+	}
+
+	bigger := New(5)
+	bigger.MustAddEdge(0, 1, 1)
+	bigger.MustAddEdge(1, 2, 1)
+	bigger.MustAddEdge(2, 0, 1)
+	if base.Hash() == bigger.Hash() {
+		t.Fatal("hash ignores vertex count")
+	}
+}
+
+func TestHashStableAcrossCalls(t *testing.T) {
+	g, err := ByFamily("er", 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Hash() != g.Hash() {
+		t.Fatal("hash not deterministic on one graph")
+	}
+	h, err := ByFamily("er", 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Hash() != h.Hash() {
+		t.Fatal("same (family, n, seed) generated different graphs")
+	}
+}

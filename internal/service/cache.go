@@ -1,0 +1,84 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+
+	"twoecss/internal/ecss"
+)
+
+// Key is the content address of a solve: SHA-256 over the canonical graph
+// digest (graph.Hash) concatenated with the result-relevant Options fields.
+// Execution knobs (Workers, Progress) are excluded — the engine is
+// deterministic for any worker count (DESIGN.md §3.4), so they cannot
+// change the result.
+type Key [32]byte
+
+func keyFor(graphHash [32]byte, opt ecss.Options) Key {
+	var buf [64]byte
+	copy(buf[:32], graphHash[:])
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(opt.Eps))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(opt.Variant))
+	binary.LittleEndian.PutUint64(buf[48:], uint64(opt.MST))
+	binary.LittleEndian.PutUint64(buf[56:], uint64(opt.Root))
+	return sha256.Sum256(buf[:])
+}
+
+// jobCache is an LRU of completed jobs addressed by Key. It is not
+// self-locking: the Service serializes access under its own mutex, which
+// also keeps cache insertion atomic with in-flight table removal.
+type jobCache struct {
+	capN int
+	m    map[Key]*list.Element
+	ll   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key Key
+	job *Job
+}
+
+func newJobCache(capN int) *jobCache {
+	return &jobCache{capN: capN, m: make(map[Key]*list.Element), ll: list.New()}
+}
+
+func (c *jobCache) get(key Key) (*Job, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).job, true
+}
+
+// put inserts a completed job and returns the evicted job, if any, so the
+// caller can drop its id from the job table.
+func (c *jobCache) put(key Key, j *Job) *Job {
+	if c.capN <= 0 {
+		return j
+	}
+	if el, ok := c.m[key]; ok {
+		// One in-flight job per key makes this unreachable in the service,
+		// but keep the cache self-consistent for direct use.
+		old := el.Value.(*cacheEntry).job
+		el.Value.(*cacheEntry).job = j
+		c.ll.MoveToFront(el)
+		if old != j {
+			return old
+		}
+		return nil
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, job: j})
+	if c.ll.Len() <= c.capN {
+		return nil
+	}
+	back := c.ll.Back()
+	c.ll.Remove(back)
+	ev := back.Value.(*cacheEntry)
+	delete(c.m, ev.key)
+	return ev.job
+}
+
+func (c *jobCache) len() int { return c.ll.Len() }

@@ -1,0 +1,351 @@
+// Package service implements the long-running 2-ECSS solver service that
+// fronts the paper's pipeline with a serving layer: a bounded job queue
+// with admission control, a configurable worker pool executing solves on
+// pooled congest Networks (NetworkPool), an in-flight coalescing table and
+// a content-addressed LRU result cache keyed by the canonical graph digest
+// plus solve options, per-job status/progress, and graceful drain on
+// shutdown. cmd/ecssd exposes it over an HTTP JSON API (http.go) and
+// cmd/loadgen drives it; DESIGN.md §7 describes the architecture.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"twoecss/internal/ecss"
+	"twoecss/internal/graph"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// QueueDepth bounds the jobs admitted but not yet picked up by a
+	// worker; Submit rejects with ErrQueueFull beyond it (default 64).
+	QueueDepth int
+	// Workers is the number of solver goroutines (default GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the content-addressed result cache (0 selects
+	// the default 512; negative disables caching — results then live only
+	// on their job).
+	CacheEntries int
+	// PoolEntries bounds the idle NetworkPool (default Workers).
+	PoolEntries int
+	// NetWorkers is the engine worker-pool size used per solve (default 1:
+	// parallelism lives at the job level, matching the experiment harness
+	// convention).
+	NetWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.PoolEntries == 0 {
+		c.PoolEntries = c.Workers
+	}
+	if c.NetWorkers <= 0 {
+		c.NetWorkers = 1
+	}
+	return c
+}
+
+// Status is a job lifecycle state.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Job is one admitted solve. All fields are guarded by the owning
+// Service's mutex; external readers use Service.JobInfo / the Done channel.
+type Job struct {
+	id    string
+	key   Key
+	ghash [32]byte
+
+	g   *graph.Graph // released once the solve starts
+	opt ecss.Options
+
+	status   Status
+	phase    string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	// resultJSON is the canonical wire encoding, marshaled once and shared
+	// by every requester. The *ecss.Result itself is not retained: its edge
+	// ids are relative to the (possibly pooled-twin) graph the solve ran
+	// on, not necessarily the submitter's.
+	resultJSON []byte
+	err        error
+	done       chan struct{}
+}
+
+// ID returns the job's stable identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state (done or failed).
+// Jobs returned from a cache or coalescing hit may already be closed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	// Submitted counts every Submit call that passed input validation,
+	// including ones rejected by a full queue or a draining service.
+	Submitted int64 `json:"submitted"`
+	// Completed and Failed count terminal jobs; Solves counts pipeline
+	// executions (Completed + Failed; every other submission was served
+	// without solving).
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Solves    int64 `json:"solves"`
+	// CacheHits counts submissions served from the result cache; Coalesced
+	// counts submissions attached to an identical in-flight job.
+	CacheHits int64 `json:"cache_hits"`
+	Coalesced int64 `json:"coalesced"`
+	// RejectedFull / RejectedDraining count admission failures.
+	RejectedFull     int64 `json:"rejected_full"`
+	RejectedDraining int64 `json:"rejected_draining"`
+
+	QueueDepth   int              `json:"queue_depth"`
+	Inflight     int              `json:"inflight"`
+	CacheEntries int              `json:"cache_entries"`
+	Pool         NetworkPoolStats `json:"pool"`
+}
+
+// Hits is the total number of submissions served without a solve.
+func (s Stats) Hits() int64 { return s.CacheHits + s.Coalesced }
+
+var (
+	// ErrQueueFull reports that admission failed because the queue is at
+	// QueueDepth.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining reports that the service no longer accepts jobs.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// retainFinished bounds how many terminal jobs that fell out of the result
+// cache (failures, evictions) stay addressable via JobInfo.
+const retainFinished = 256
+
+// Service is the solver service. Create with New, stop with Drain.
+type Service struct {
+	cfg  Config
+	pool *NetworkPool
+
+	mu       sync.Mutex
+	seq      int64
+	jobs     map[string]*Job
+	inflight map[Key]*Job
+	cache    *jobCache
+	retired  []string // FIFO of terminal, uncached job ids still in jobs
+	stats    Stats
+	draining bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// testJobStart, when set (tests only), runs at the top of every worker
+	// job execution, before the solve.
+	testJobStart func(*Job)
+}
+
+// New starts a service with cfg's sizing and its worker goroutines.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		pool:     NewNetworkPool(cfg.PoolEntries),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[Key]*Job),
+		cache:    newJobCache(cfg.CacheEntries),
+		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Submit admits a solve of g under opt and returns the job serving it plus
+// whether it was a hit (served from the result cache or coalesced onto an
+// identical in-flight job — in both cases the returned job may belong to an
+// earlier submission). The caller must not mutate g after Submit. Identity
+// is content-addressed: structurally identical graphs dedupe regardless of
+// how or in what edge order they were built.
+func (s *Service) Submit(g *graph.Graph, opt ecss.Options) (*Job, bool, error) {
+	if opt.Eps <= 0 {
+		return nil, false, fmt.Errorf("service: eps must be positive, got %g", opt.Eps)
+	}
+	if g == nil || g.N < 3 {
+		return nil, false, errors.New("service: need a graph with at least 3 vertices")
+	}
+	if opt.Root < 0 || opt.Root >= g.N {
+		return nil, false, fmt.Errorf("service: root %d out of range [0,%d)", opt.Root, g.N)
+	}
+	opt.Workers = s.cfg.NetWorkers
+	opt.Progress = nil
+	ghash := g.Hash()
+	key := keyFor(ghash, opt)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Submitted++
+	if s.draining {
+		s.stats.RejectedDraining++
+		return nil, false, ErrDraining
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.stats.Coalesced++
+		return j, true, nil
+	}
+	if j, ok := s.cache.get(key); ok {
+		s.stats.CacheHits++
+		return j, true, nil
+	}
+	s.seq++
+	j := &Job{
+		id:      fmt.Sprintf("j%08d", s.seq),
+		key:     key,
+		ghash:   ghash,
+		g:       g,
+		opt:     opt,
+		status:  StatusQueued,
+		phase:   "queued",
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.stats.RejectedFull++
+		return nil, false, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.inflight[key] = j
+	return j, false, nil
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Service) runJob(j *Job) {
+	if hook := s.testJobStart; hook != nil {
+		hook(j)
+	}
+	s.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	g, opt := j.g, j.opt
+	s.mu.Unlock()
+
+	net := s.pool.Get(j.ghash, g)
+	net.ResetAccounting()
+	opt.Progress = func(stage string) {
+		s.mu.Lock()
+		j.phase = stage
+		s.mu.Unlock()
+	}
+	res, err := ecss.SolveOn(net, opt)
+	if err == nil {
+		// Integrity gate: never cache (or serve) an unverified result.
+		err = ecss.Verify(net.G, res)
+	}
+	var raw []byte
+	if err == nil {
+		raw, err = json.Marshal(wireResult(net.G, res))
+	}
+	s.pool.Put(j.ghash, net)
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	j.g = nil
+	j.phase = ""
+	delete(s.inflight, j.key)
+	s.stats.Solves++
+	if err != nil {
+		j.status, j.err = StatusFailed, err
+		s.stats.Failed++
+		s.retire(j)
+	} else {
+		j.status, j.resultJSON = StatusDone, raw
+		s.stats.Completed++
+		if evicted := s.cache.put(j.key, j); evicted != nil {
+			s.retire(evicted)
+		}
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// retire keeps a terminal, uncached job addressable for a while, dropping
+// the oldest such job beyond the retention bound. Caller holds s.mu.
+func (s *Service) retire(j *Job) {
+	s.retired = append(s.retired, j.id)
+	for len(s.retired) > retainFinished {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.QueueDepth = len(s.queue)
+	st.Inflight = len(s.inflight)
+	st.CacheEntries = s.cache.len()
+	st.Pool = s.pool.Stats()
+	return st
+}
+
+// Drain stops admission, lets the workers finish every queued job, and
+// closes the network pool. It returns nil on a clean drain or ctx.Err() if
+// the context expires first (workers then keep draining in the background;
+// the pool is closed once they finish). Drain is one-shot: callers
+// coordinate so it runs once.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("service: already draining")
+	}
+	s.draining = true
+	s.mu.Unlock()
+	// Submit holds the mutex across its draining check and queue send, so
+	// after the flag flip no new job can reach the channel: safe to close.
+	close(s.queue)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		s.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
