@@ -10,13 +10,22 @@
 //	GET  /v1/stats     queue/cache/pool counters
 //	GET  /healthz      liveness
 //
+// With -store-dir the result cache is disk-backed and crash-safe
+// (internal/store, DESIGN.md §8): completed solves are written through to
+// content-addressed files, a restart replays the store's index — verifying
+// checksums and quarantining corrupt entries — and pre-warms the memory
+// cache, so previously solved instances are served byte-identically with no
+// new solves. -store-max-bytes bounds the on-disk size via LRU eviction.
+//
 // SIGINT/SIGTERM triggers a graceful drain: admission stops (503), queued
-// jobs finish, the network pool is released, then the process exits 0.
+// jobs finish, the network pool is released, pending store writes are
+// flushed, then the process exits 0.
 //
 // Usage:
 //
 //	ecssd [-addr :8080] [-queue 256] [-workers N] [-cache 512] [-pool N]
 //	      [-net-workers 1] [-drain-timeout 30s]
+//	      [-store-dir DIR] [-store-max-bytes 268435456]
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	"twoecss/internal/service"
+	"twoecss/internal/store"
 )
 
 func main() {
@@ -49,14 +59,28 @@ func run() error {
 	pool := flag.Int("pool", 0, "idle network pool entries (<=0: workers)")
 	netWorkers := flag.Int("net-workers", 1, "engine workers per solve")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	storeDir := flag.String("store-dir", "", "disk-backed result store directory (empty: results are not persisted)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "on-disk store budget, LRU-evicted (<=0: unbounded)")
 	flag.Parse()
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, *storeMaxBytes)
+		if err != nil {
+			return fmt.Errorf("open store %s: %w", *storeDir, err)
+		}
+		sst := st.Stats()
+		log.Printf("ecssd: store %s: %d entries / %d bytes warm, %d quarantined",
+			*storeDir, sst.Entries, sst.Bytes, sst.Corruptions)
+	}
 	svc := service.New(service.Config{
 		QueueDepth:   *queue,
 		Workers:      *workers,
 		CacheEntries: *cache,
 		PoolEntries:  *pool,
 		NetWorkers:   *netWorkers,
+		Store:        st, // service owns it: Drain flushes and closes
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -100,8 +124,12 @@ func run() error {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	st := svc.Stats()
-	log.Printf("ecssd: drained clean: %d submitted, %d solves, %d cache hits, %d coalesced, %d failed",
-		st.Submitted, st.Solves, st.CacheHits, st.Coalesced, st.Failed)
+	stats := svc.Stats()
+	log.Printf("ecssd: drained clean: %d submitted, %d solves, %d cache hits, %d store hits, %d coalesced, %d failed",
+		stats.Submitted, stats.Solves, stats.CacheHits, stats.StoreHits, stats.Coalesced, stats.Failed)
+	if stats.Store != nil {
+		log.Printf("ecssd: store flushed: %d entries / %d bytes on disk, %d puts, %d evictions, %d corruptions",
+			stats.Store.Entries, stats.Store.Bytes, stats.Store.Puts, stats.Store.Evictions, stats.Store.Corruptions)
+	}
 	return nil
 }

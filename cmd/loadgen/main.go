@@ -5,14 +5,19 @@
 // repository uses — so replaying a seed re-submits a content-identical
 // graph and exercises the service's content-addressed cache.
 //
-// With -min-cache-hits >= 0 the process exits nonzero unless the server
-// reports at least that many cache hits (CI smoke uses this).
+// Gates (CI smoke uses these; each <0 value disables its check):
+// -min-cache-hits fails unless the server reports at least that many
+// memory-cache hits; -min-store-hits does the same for disk-store hits;
+// -max-solves fails if the server ran MORE than that many solver
+// invocations — `-max-solves 0` against a warm-restarted ecssd asserts that
+// every request was served from the persisted store with zero new solves.
 //
 // Usage:
 //
 //	loadgen [-addr http://127.0.0.1:8080] [-duration 10s] [-concurrency 8]
 //	        [-n 96] [-families er,grid,ring,random,ba] [-seeds 4]
-//	        [-eps 0.25] [-min-cache-hits -1]
+//	        [-eps 0.25] [-min-cache-hits -1] [-min-store-hits -1]
+//	        [-max-solves -1]
 package main
 
 import (
@@ -59,6 +64,8 @@ func run() error {
 	seeds := flag.Int("seeds", 4, "seeds per family (workload matrix size = families x seeds)")
 	eps := flag.Float64("eps", 0.25, "approximation slack")
 	minCacheHits := flag.Int64("min-cache-hits", -1, "fail unless the server reports at least this many cache hits (<0: no check)")
+	minStoreHits := flag.Int64("min-store-hits", -1, "fail unless the server reports at least this many disk-store hits (<0: no check)")
+	maxSolves := flag.Int64("max-solves", -1, "fail if the server ran more than this many solves (<0: no check; 0 gates a warm restart)")
 	flag.Parse()
 
 	items, err := buildWorkload(*families, *n, *seeds, *eps)
@@ -128,10 +135,21 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("fetch server stats: %w", err)
 	}
-	fmt.Printf("server stats:  %d submitted, %d solves, %d cache hits, %d coalesced, %d failed, pool %d/%d reuse/create\n",
-		st.Submitted, st.Solves, st.CacheHits, st.Coalesced, st.Failed, st.Pool.Reuses, st.Pool.Creates)
+	fmt.Printf("server stats:  %d submitted, %d solves, %d cache hits, %d store hits, %d coalesced, %d failed, pool %d/%d reuse/create\n",
+		st.Submitted, st.Solves, st.CacheHits, st.StoreHits, st.Coalesced, st.Failed, st.Pool.Reuses, st.Pool.Creates)
+	if st.Store != nil {
+		fmt.Printf("server store:  %d entries / %d bytes, %d hits, %d misses, %d puts, %d evictions, %d corruptions\n",
+			st.Store.Entries, st.Store.Bytes, st.Store.Hits, st.Store.Misses,
+			st.Store.Puts, st.Store.Evictions, st.Store.Corruptions)
+	}
 	if *minCacheHits >= 0 && st.CacheHits < *minCacheHits {
 		return fmt.Errorf("server reports %d cache hits, need >= %d", st.CacheHits, *minCacheHits)
+	}
+	if *minStoreHits >= 0 && st.StoreHits < *minStoreHits {
+		return fmt.Errorf("server reports %d store hits, need >= %d", st.StoreHits, *minStoreHits)
+	}
+	if *maxSolves >= 0 && st.Solves > *maxSolves {
+		return fmt.Errorf("server ran %d solves, allowed <= %d (cold-served traffic on a warm restart)", st.Solves, *maxSolves)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d requests failed", failures)

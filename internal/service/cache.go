@@ -19,11 +19,20 @@ type Key [32]byte
 func keyFor(graphHash [32]byte, opt ecss.Options) Key {
 	var buf [64]byte
 	copy(buf[:32], graphHash[:])
-	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(opt.Eps))
-	binary.LittleEndian.PutUint64(buf[40:], uint64(opt.Variant))
-	binary.LittleEndian.PutUint64(buf[48:], uint64(opt.MST))
-	binary.LittleEndian.PutUint64(buf[56:], uint64(opt.Root))
+	blob := optionsBlob(opt)
+	copy(buf[32:], blob[:])
 	return sha256.Sum256(buf[:])
+}
+
+// optionsBlob is the fixed-width encoding of the result-relevant options:
+// the second half of the key preimage, and the Options field persisted in
+// every store entry header so on-disk files are self-describing.
+func optionsBlob(opt ecss.Options) (b [32]byte) {
+	binary.LittleEndian.PutUint64(b[0:], math.Float64bits(opt.Eps))
+	binary.LittleEndian.PutUint64(b[8:], uint64(opt.Variant))
+	binary.LittleEndian.PutUint64(b[16:], uint64(opt.MST))
+	binary.LittleEndian.PutUint64(b[24:], uint64(opt.Root))
+	return b
 }
 
 // jobCache is an LRU of completed jobs addressed by Key. It is not

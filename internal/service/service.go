@@ -19,6 +19,7 @@ import (
 
 	"twoecss/internal/ecss"
 	"twoecss/internal/graph"
+	"twoecss/internal/store"
 )
 
 // Config sizes the service. Zero values select the documented defaults.
@@ -38,6 +39,12 @@ type Config struct {
 	// parallelism lives at the job level, matching the experiment harness
 	// convention).
 	NetWorkers int
+	// Store, when non-nil, is the disk-backed result store the in-memory
+	// cache writes through to. On New the most recently used entries
+	// pre-warm the memory cache (up to CacheEntries); memory-cache misses
+	// fall back to the store before solving. The service takes ownership:
+	// Drain flushes pending writes and closes it.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -111,10 +118,13 @@ type Stats struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Solves    int64 `json:"solves"`
-	// CacheHits counts submissions served from the result cache; Coalesced
-	// counts submissions attached to an identical in-flight job.
+	// CacheHits counts submissions served from the in-memory result cache
+	// (including entries pre-warmed from the store); Coalesced counts
+	// submissions attached to an identical in-flight job; StoreHits counts
+	// submissions served by reading the disk store on a memory-cache miss.
 	CacheHits int64 `json:"cache_hits"`
 	Coalesced int64 `json:"coalesced"`
+	StoreHits int64 `json:"store_hits"`
 	// RejectedFull / RejectedDraining count admission failures.
 	RejectedFull     int64 `json:"rejected_full"`
 	RejectedDraining int64 `json:"rejected_draining"`
@@ -123,10 +133,13 @@ type Stats struct {
 	Inflight     int              `json:"inflight"`
 	CacheEntries int              `json:"cache_entries"`
 	Pool         NetworkPoolStats `json:"pool"`
+	// Store mirrors the disk store's counters; nil when the service runs
+	// without persistence.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Hits is the total number of submissions served without a solve.
-func (s Stats) Hits() int64 { return s.CacheHits + s.Coalesced }
+func (s Stats) Hits() int64 { return s.CacheHits + s.Coalesced + s.StoreHits }
 
 var (
 	// ErrQueueFull reports that admission failed because the queue is at
@@ -142,8 +155,9 @@ const retainFinished = 256
 
 // Service is the solver service. Create with New, stop with Drain.
 type Service struct {
-	cfg  Config
-	pool *NetworkPool
+	cfg   Config
+	pool  *NetworkPool
+	store *store.Store // nil: no persistence
 
 	mu       sync.Mutex
 	seq      int64
@@ -162,16 +176,31 @@ type Service struct {
 	testJobStart func(*Job)
 }
 
-// New starts a service with cfg's sizing and its worker goroutines.
+// New starts a service with cfg's sizing and its worker goroutines. With a
+// configured Store, the memory cache is pre-warmed from the store's most
+// recently used entries so a restart resumes at a warm hit ratio instead of
+// a cold one.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:      cfg,
 		pool:     NewNetworkPool(cfg.PoolEntries),
+		store:    cfg.Store,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[Key]*Job),
 		cache:    newJobCache(cfg.CacheEntries),
 		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	if s.store != nil && cfg.CacheEntries > 0 {
+		// Recent returns MRU-first; insert oldest-first so the memory
+		// cache's LRU order mirrors the store's.
+		warm := s.store.Recent(cfg.CacheEntries)
+		s.mu.Lock()
+		for i := len(warm) - 1; i >= 0; i-- {
+			e := warm[i]
+			s.adoptStoredLocked(Key(e.Key), e.GraphHash, e.Payload)
+		}
+		s.mu.Unlock()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -179,6 +208,38 @@ func New(cfg Config) *Service {
 	}
 	return s
 }
+
+// adoptStoredLocked wraps a store payload in a terminal job — addressable
+// via JobInfo, served from the memory cache — without a solve. Caller holds
+// s.mu.
+func (s *Service) adoptStoredLocked(key Key, ghash [32]byte, payload []byte) *Job {
+	s.seq++
+	now := time.Now()
+	j := &Job{
+		id:         fmt.Sprintf("j%08d", s.seq),
+		key:        key,
+		ghash:      ghash,
+		status:     StatusDone,
+		created:    now,
+		started:    now,
+		finished:   now,
+		resultJSON: payload,
+		done:       closedDone,
+	}
+	s.jobs[j.id] = j
+	if evicted := s.cache.put(key, j); evicted != nil {
+		s.retire(evicted)
+	}
+	return j
+}
+
+// closedDone is the pre-closed Done channel shared by jobs that were never
+// queued (store adoptions): they are born terminal.
+var closedDone = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
 
 // Config returns the effective (defaulted) configuration.
 func (s *Service) Config() Config { return s.cfg }
@@ -218,6 +279,31 @@ func (s *Service) Submit(g *graph.Graph, opt ecss.Options) (*Job, bool, error) {
 	if j, ok := s.cache.get(key); ok {
 		s.stats.CacheHits++
 		return j, true, nil
+	}
+	if s.store != nil {
+		// The store lookup touches disk; release the admission mutex
+		// around it so concurrent Submits, Stats, and progress callbacks
+		// are never serialized behind a file read, then re-run the
+		// admission checks — the world may have moved meanwhile.
+		s.mu.Unlock()
+		payload, found := s.store.Get([32]byte(key))
+		s.mu.Lock()
+		if s.draining {
+			s.stats.RejectedDraining++
+			return nil, false, ErrDraining
+		}
+		if j, ok := s.inflight[key]; ok {
+			s.stats.Coalesced++
+			return j, true, nil
+		}
+		if j, ok := s.cache.get(key); ok {
+			s.stats.CacheHits++
+			return j, true, nil
+		}
+		if found {
+			s.stats.StoreHits++
+			return s.adoptStoredLocked(key, ghash, payload), true, nil
+		}
 	}
 	s.seq++
 	j := &Job{
@@ -276,6 +362,12 @@ func (s *Service) runJob(j *Job) {
 		raw, err = json.Marshal(wireResult(net.G, res))
 	}
 	s.pool.Put(j.ghash, net)
+	if err == nil && s.store != nil {
+		// Write-through outside s.mu: the store's writer queue can apply
+		// backpressure, which must stall only this solver worker, not
+		// admission. raw is immutable from here on.
+		_ = s.store.Put([32]byte(j.key), j.ghash, optionsBlob(opt), raw)
+	}
 
 	s.mu.Lock()
 	j.finished = time.Now()
@@ -311,20 +403,28 @@ func (s *Service) retire(j *Job) {
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.stats
 	st.QueueDepth = len(s.queue)
 	st.Inflight = len(s.inflight)
 	st.CacheEntries = s.cache.len()
 	st.Pool = s.pool.Stats()
+	s.mu.Unlock()
+	// The store mutex is held across disk reads (Get/Recent), so it is
+	// taken only after the admission mutex is released: a stats poll must
+	// never serialize Submits behind file I/O.
+	if s.store != nil {
+		sst := s.store.Stats()
+		st.Store = &sst
+	}
 	return st
 }
 
-// Drain stops admission, lets the workers finish every queued job, and
-// closes the network pool. It returns nil on a clean drain or ctx.Err() if
-// the context expires first (workers then keep draining in the background;
-// the pool is closed once they finish). Drain is one-shot: callers
-// coordinate so it runs once.
+// Drain stops admission, lets the workers finish every queued job, closes
+// the network pool, and — when a store is configured — flushes its pending
+// writes to disk and closes it, leaving a replayable index. It returns nil
+// on a clean drain or ctx.Err() if the context expires first (workers then
+// keep draining in the background; pool and store are closed once they
+// finish). Drain is one-shot: callers coordinate so it runs once.
 func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -340,6 +440,11 @@ func (s *Service) Drain(ctx context.Context) error {
 	go func() {
 		s.wg.Wait()
 		s.pool.Close()
+		if s.store != nil {
+			// Every worker has returned, so every write-through Put is
+			// already enqueued; Close flushes them durably in FIFO order.
+			_ = s.store.Close()
+		}
 		close(done)
 	}()
 	select {

@@ -1,0 +1,262 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"twoecss/internal/ecss"
+	"twoecss/internal/store"
+)
+
+func openStore(t *testing.T, dir string, maxBytes int64) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, maxBytes)
+	if err != nil {
+		t.Fatalf("store.Open(%s): %v", dir, err)
+	}
+	return st
+}
+
+// TestRestartServesFromStoreEndToEnd is the PR's acceptance test: fill a
+// disk-backed service through the HTTP API, drain it, start a fresh Service
+// on the same directory, and every previously solved instance must be
+// served byte-identically with zero solver invocations.
+func TestRestartServesFromStoreEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	const instances = 5
+
+	s1 := New(Config{Workers: 2, Store: openStore(t, dir, 0)})
+	srv1 := httptest.NewServer(s1.Handler())
+	first := make(map[int][]byte)
+	for seed := 1; seed <= instances; seed++ {
+		req := SolveRequest{Graph: WireGraph(testGraph(t, int64(seed))), Wait: true}
+		code, resp := postSolve(t, srv1, req)
+		if code != http.StatusOK || resp.Status != StatusDone {
+			t.Fatalf("seed %d cold solve: code=%d resp=%+v", seed, code, resp)
+		}
+		first[seed] = resp.Result
+	}
+	if st := s1.Stats(); st.Solves != instances || st.Store == nil {
+		t.Fatalf("cold stats %+v, want %d solves on a store-backed service", st, instances)
+	}
+	srv1.Close()
+	drain(t, s1) // flushes and closes the store
+
+	// Fresh process image: new store replay, new service, same directory.
+	s2 := New(Config{Workers: 2, Store: openStore(t, dir, 0)})
+	defer drain(t, s2)
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	for seed := 1; seed <= instances; seed++ {
+		req := SolveRequest{Graph: WireGraph(testGraph(t, int64(seed))), Wait: true}
+		code, resp := postSolve(t, srv2, req)
+		if code != http.StatusOK || resp.Status != StatusDone || !resp.Cached {
+			t.Fatalf("seed %d warm solve: code=%d resp=%+v", seed, code, resp)
+		}
+		if !bytes.Equal(resp.Result, first[seed]) {
+			t.Fatalf("seed %d warm result differs from pre-restart bytes", seed)
+		}
+	}
+	st := s2.Stats()
+	if st.Solves != 0 {
+		t.Fatalf("warm restart ran %d solves, want 0 (stats %+v)", st.Solves, st)
+	}
+	if st.CacheHits != instances {
+		t.Fatalf("warm restart served %d cache hits, want %d (pre-warm)", st.CacheHits, instances)
+	}
+}
+
+// TestStoreHitWithoutMemoryCache pins the disk-fallback path: with the
+// memory cache disabled there is no pre-warm, so a warm restart must serve
+// via store.Get and count StoreHits.
+func TestStoreHitWithoutMemoryCache(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 1)
+
+	s1 := New(Config{Workers: 1, Store: openStore(t, dir, 0)})
+	j, _, err := s1.Submit(g, ecss.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	want := s1.snapshot(j).Result
+	if len(want) == 0 {
+		t.Fatal("cold solve produced no result")
+	}
+	drain(t, s1)
+
+	s2 := New(Config{Workers: 1, CacheEntries: -1, Store: openStore(t, dir, 0)})
+	defer drain(t, s2)
+	j2, hit, err := s2.Submit(g, ecss.DefaultOptions())
+	if err != nil || !hit {
+		t.Fatalf("warm submit: hit=%v err=%v", hit, err)
+	}
+	waitJob(t, j2)
+	if got := s2.snapshot(j2).Result; !bytes.Equal(got, want) {
+		t.Fatal("store-served result differs from the original solve")
+	}
+	st := s2.Stats()
+	if st.StoreHits != 1 || st.Solves != 0 || st.CacheHits != 0 {
+		t.Fatalf("stats %+v, want exactly 1 store hit and no solve", st)
+	}
+}
+
+// TestRestartQuarantinesCorruptEntry: damage one persisted entry between
+// runs; the restarted service must re-solve exactly that instance and keep
+// serving the rest warm.
+func TestRestartQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	const instances = 4
+	s1 := New(Config{Workers: 2, Store: openStore(t, dir, 0)})
+	keys := make(map[int][32]byte)
+	for seed := 1; seed <= instances; seed++ {
+		j, _, err := s1.Submit(testGraph(t, int64(seed)), ecss.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitJob(t, j)
+		keys[seed] = [32]byte(j.key)
+	}
+	drain(t, s1)
+
+	// Flip a payload byte of seed 2's entry on disk.
+	corruptKey := keys[2]
+	path := filepath.Join(dir, "objects", fmt.Sprintf("%x.res", corruptKey[:]))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x80
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, 0)
+	if sst := st2.Stats(); sst.Corruptions != 1 || sst.Entries != instances-1 {
+		t.Fatalf("reopen stats %+v, want 1 quarantined / %d survivors", sst, instances-1)
+	}
+	s2 := New(Config{Workers: 2, Store: st2})
+	defer drain(t, s2)
+	for seed := 1; seed <= instances; seed++ {
+		j, hit, err := s2.Submit(testGraph(t, int64(seed)), ecss.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHit := seed != 2
+		if hit != wantHit {
+			t.Fatalf("seed %d: hit=%v, want %v", seed, hit, wantHit)
+		}
+		waitJob(t, j)
+		if snap := s2.snapshot(j); snap.Status != StatusDone {
+			t.Fatalf("seed %d: %+v", seed, snap)
+		}
+	}
+	if st := s2.Stats(); st.Solves != 1 {
+		t.Fatalf("re-solved %d instances, want exactly the quarantined one (stats %+v)", st.Solves, st)
+	}
+}
+
+// TestTortureConcurrentSubmitEvictDrain is the satellite race/torture test
+// (run under -race in CI): many goroutines hammer Submit — duplicate keys,
+// distinct keys, enough volume to trigger disk eviction — while Drain cuts
+// admission mid-flight. Afterwards the store must reopen with a replayable,
+// corruption-free index, and with an unbounded twin store every completed
+// job must be durably readable byte-for-byte (no lost writes).
+func TestTortureConcurrentSubmitEvictDrain(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		maxBytes int64
+	}{
+		{name: "unbounded", maxBytes: 0},
+		// A few entries of budget: puts constantly evict.
+		{name: "eviction-pressure", maxBytes: 4096},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := New(Config{Workers: 4, QueueDepth: 64, Store: openStore(t, dir, tc.maxBytes)})
+
+			const submitters = 8
+			var (
+				mu   sync.Mutex
+				done = make(map[[32]byte][]byte) // key -> payload
+			)
+			var wg sync.WaitGroup
+			for w := 0; w < submitters; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						// Seeds overlap across goroutines: coalescing and
+						// cache hits race with fresh solves and eviction.
+						seed := int64(1 + (w*7+i)%13)
+						j, _, err := s.Submit(testGraph(t, seed), ecss.DefaultOptions())
+						if err != nil {
+							return // draining or queue-full: stop submitting
+						}
+						select {
+						case <-j.Done():
+						case <-time.After(60 * time.Second):
+							t.Error("job stuck")
+							return
+						}
+						snap := s.snapshot(j)
+						if snap.Status != StatusDone {
+							t.Errorf("seed %d failed: %s", seed, snap.Error)
+							return
+						}
+						mu.Lock()
+						done[[32]byte(j.key)] = snap.Result
+						mu.Unlock()
+					}
+				}(w)
+			}
+			// Cut admission while submitters are mid-flight.
+			time.Sleep(50 * time.Millisecond)
+			drain(t, s)
+			wg.Wait()
+			if len(done) == 0 {
+				t.Fatal("no job completed before drain")
+			}
+
+			// The index must replay cleanly after the concurrent churn.
+			re := openStore(t, dir, tc.maxBytes)
+			defer re.Close()
+			sst := re.Stats()
+			if sst.Corruptions != 0 {
+				t.Fatalf("replayed index reports %d corruptions (stats %+v)", sst.Corruptions, sst)
+			}
+			if tc.maxBytes > 0 {
+				// Budget enforced, modulo the keep-one rule for a single
+				// oversized entry.
+				if sst.Entries < 1 || (sst.Bytes > tc.maxBytes && sst.Entries > 1) {
+					t.Fatalf("budget not enforced across restart: %+v", sst)
+				}
+				// Whatever survived eviction must be byte-identical.
+				for k, want := range done {
+					if got, ok := re.Get(k); ok && !bytes.Equal(got, want) {
+						t.Fatalf("surviving key %x altered", k[:4])
+					}
+				}
+			} else {
+				// Unbounded: every completed job's write must have survived
+				// the drain — nothing lost, bytes identical.
+				if sst.Entries != len(done) {
+					t.Fatalf("store holds %d entries, want %d completed keys", sst.Entries, len(done))
+				}
+				for k, want := range done {
+					got, ok := re.Get(k)
+					if !ok || !bytes.Equal(got, want) {
+						t.Fatalf("completed key %x lost or altered (ok=%v)", k[:4], ok)
+					}
+				}
+			}
+		})
+	}
+}

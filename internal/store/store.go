@@ -1,0 +1,688 @@
+package store
+
+import (
+	"bufio"
+	"cmp"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stats counts store traffic. It is embedded in the service's /v1/stats
+// payload, so the field set is part of the operational API.
+type Stats struct {
+	// Hits and Misses count Get lookups (pre-warm reads via Recent are not
+	// counted: they are not serving decisions).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Puts counts entries accepted for write; DupPuts counts writes skipped
+	// because the content address was already stored.
+	Puts    int64 `json:"puts"`
+	DupPuts int64 `json:"dup_puts"`
+	// Evictions counts entries removed to keep Bytes under the budget.
+	Evictions int64 `json:"evictions"`
+	// Corruptions counts quarantined files and dropped index records:
+	// truncated or checksum-mismatched entries, undecodable headers, stale
+	// index lines pointing at missing files, and malformed index lines.
+	Corruptions int64 `json:"corruptions"`
+	// WriteErrors counts puts the writer could not persist (ENOSPC,
+	// permissions): the entry is simply absent after a restart. Distinct
+	// from Corruptions, which reports damaged data, not failed writes.
+	WriteErrors int64 `json:"write_errors"`
+	// Entries and Bytes describe the live on-disk set.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+type entry struct {
+	key   Key
+	size  int64 // header + payload bytes on disk
+	atime int64 // unix nanoseconds of last recorded access
+	el    *list.Element
+}
+
+// writeOp is one unit of work for the background writer: a put (payload
+// non-nil), a touch (atime record), or a flush barrier (ack non-nil).
+type writeOp struct {
+	key       Key
+	graphHash [32]byte
+	options   [32]byte
+	payload   []byte
+	atime     int64
+	ack       chan struct{}
+	stop      bool
+}
+
+// Store is the disk-backed result store. Create with Open; all methods are
+// safe for concurrent use. Writes are asynchronous: Put enqueues to a
+// single background writer that performs the atomic file write, the fsync'd
+// index append, and budget eviction. Flush (or Close) waits for every
+// enqueued write to be durable.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu        sync.Mutex
+	entries   map[Key]*entry
+	ll        *list.List // front = most recently used
+	bytes     int64
+	stats     Stats
+	indexF    *os.File
+	lastStamp int64 // high-water access-time stamp (see stampLocked)
+
+	closeMu sync.RWMutex
+	closed  bool
+	writeCh chan writeOp
+	done    chan struct{}
+}
+
+// Open creates or reopens the store rooted at dir, bounded to maxBytes of
+// entry bytes on disk (<=0: unbounded). It replays the index log, verifies
+// every referenced entry's header and payload checksum — quarantining
+// corrupt, truncated, or unreadable files and dropping stale index records
+// — adopts orphaned entry files the log does not mention (a crash window
+// between rename and index append), rewrites a compact index, and evicts
+// down to the byte budget. Corruption is counted, never fatal: a damaged
+// store opens with whatever survives.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "objects"), filepath.Join(dir, "quarantine")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	// Sweep temp files stranded by crashes mid-write; they live outside the
+	// byte budget and would otherwise accumulate across crash loops.
+	if strays, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, p := range strays {
+			os.Remove(p)
+		}
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[Key]*entry),
+		ll:       list.New(),
+		writeCh:  make(chan writeOp, 256),
+		done:     make(chan struct{}),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	// Evict down to budget before compacting the index so the rewritten
+	// log lists exactly the surviving entries.
+	for _, k := range s.evictLocked(nil) {
+		os.Remove(s.objPath(k))
+	}
+	if err := s.rewriteIndex(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.indexPath(), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open index: %w", err)
+	}
+	s.indexF = f
+	go s.writer()
+	return s, nil
+}
+
+func (s *Store) indexPath() string  { return filepath.Join(s.dir, "index.log") }
+func (s *Store) objPath(k Key) string {
+	return filepath.Join(s.dir, "objects", hex.EncodeToString(k[:])+".res")
+}
+func (s *Store) quarantinePath(k Key) string {
+	return filepath.Join(s.dir, "quarantine", hex.EncodeToString(k[:])+".res")
+}
+
+// scan replays the index log and reconciles it against the objects
+// directory, leaving s.entries/s.ll/s.bytes describing the verified live
+// set and a freshly compacted index on disk.
+func (s *Store) scan() error {
+	type rec struct {
+		atime int64
+		live  bool
+	}
+	replay := make(map[Key]*rec)
+	if f, err := os.Open(s.indexPath()); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 4096), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			key, op, atime, ok := parseIndexLine(line)
+			if !ok {
+				// Malformed or torn line (crash mid-append): skip it. Torn
+				// final lines are expected under crash, so they are not
+				// counted as corruption; full reconciliation below decides
+				// what actually survives.
+				continue
+			}
+			switch op {
+			case "del":
+				replay[key] = &rec{live: false}
+			default: // put, touch
+				r := replay[key]
+				if r == nil {
+					r = &rec{}
+					replay[key] = r
+				}
+				r.live = true
+				if atime > r.atime {
+					r.atime = atime
+				}
+			}
+		}
+		if sc.Err() != nil {
+			// Replay stopped early (read error or an over-long corrupt
+			// line): records past this point are lost. Count it so a
+			// damaged index is distinguishable from a clean replay; full
+			// file reconciliation below still bounds the blast radius.
+			s.stats.Corruptions++
+		}
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("store: read index: %w", err)
+	}
+
+	// Adopt entry files the index does not mention as live: a crash between
+	// the object rename and the index append leaves exactly this state, and
+	// the file is self-describing enough to re-index.
+	if names, err := os.ReadDir(filepath.Join(s.dir, "objects")); err == nil {
+		for _, de := range names {
+			name := de.Name()
+			if !strings.HasSuffix(name, ".res") {
+				continue
+			}
+			raw, err := hex.DecodeString(strings.TrimSuffix(name, ".res"))
+			if err != nil || len(raw) != 32 {
+				continue
+			}
+			var k Key
+			copy(k[:], raw)
+			if r, ok := replay[k]; ok && r.live {
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			replay[k] = &rec{live: true, atime: info.ModTime().UnixNano()}
+		}
+	}
+
+	type liveEnt struct {
+		k     Key
+		size  int64
+		atime int64
+	}
+	var live []liveEnt
+	for k, r := range replay {
+		if !r.live {
+			continue
+		}
+		size, err := verifyEntryFile(s.objPath(k), k)
+		if err != nil {
+			s.stats.Corruptions++
+			s.quarantine(k)
+			continue
+		}
+		live = append(live, liveEnt{k: k, size: size, atime: r.atime})
+	}
+	// One sort, then append in order: the replay map iterates randomly and
+	// a per-entry sorted insert would make reopening a large store O(n^2).
+	slices.SortFunc(live, func(a, b liveEnt) int {
+		return cmp.Compare(b.atime, a.atime) // most recent first
+	})
+	for _, le := range live {
+		e := &entry{key: le.k, size: le.size, atime: le.atime}
+		e.el = s.ll.PushBack(e)
+		s.entries[le.k] = e
+		s.bytes += le.size
+		if le.atime > s.lastStamp {
+			s.lastStamp = le.atime
+		}
+	}
+	return nil
+}
+
+// verifyEntryFile checks that the file at path is a well-formed entry for
+// key: decodable current-version header, matching stored key, exact length,
+// and payload SHA-256 equal to the header checksum.
+func verifyEntryFile(path string, key Key) (size int64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return verifyBytes(b, key)
+}
+
+// quarantine moves the entry file for k aside (best-effort; a missing file
+// — the stale-index-line case — simply has nothing to move).
+func (s *Store) quarantine(k Key) {
+	_ = os.Rename(s.objPath(k), s.quarantinePath(k))
+}
+
+// stampLocked returns a strictly increasing access-time stamp: wall-clock
+// nanoseconds, bumped past the previous stamp when the clock is too coarse
+// (or stepped backwards) to distinguish two accesses. Strict ordering keeps
+// LRU eviction deterministic. Caller holds s.mu.
+func (s *Store) stampLocked() int64 {
+	now := time.Now().UnixNano()
+	if now <= s.lastStamp {
+		now = s.lastStamp + 1
+	}
+	s.lastStamp = now
+	return now
+}
+
+// rewriteIndex atomically replaces the index log with one "put" line per
+// live entry, dropping the replay history.
+func (s *Store) rewriteIndex() error {
+	tmp, err := os.CreateTemp(s.dir, "index-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: compact index: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for el := s.ll.Back(); el != nil; el = el.Prev() { // oldest first
+		e := el.Value.(*entry)
+		fmt.Fprintf(w, "put %x %d %d\n", e.key[:], e.size, e.atime)
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: compact index: %w", err)
+	}
+	tmp.Close()
+	if err := os.Rename(tmp.Name(), s.indexPath()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: compact index: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+func parseIndexLine(line string) (k Key, op string, atime int64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return k, "", 0, false
+	}
+	op = fields[0]
+	switch op {
+	case "put":
+		if len(fields) != 4 {
+			return k, "", 0, false
+		}
+	case "touch":
+		if len(fields) != 3 {
+			return k, "", 0, false
+		}
+	case "del":
+		if len(fields) != 2 {
+			return k, "", 0, false
+		}
+	default:
+		return k, "", 0, false
+	}
+	raw, err := hex.DecodeString(fields[1])
+	if err != nil || len(raw) != 32 {
+		return k, "", 0, false
+	}
+	copy(k[:], raw)
+	if op != "del" {
+		atime, err = strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			return k, "", 0, false
+		}
+	}
+	return k, op, atime, true
+}
+
+// Get returns the stored payload for key, or ok=false on a miss. The read
+// is verified end-to-end against the header checksum on every call; a file
+// that fails verification is quarantined and reported as a miss, and the
+// access time of a hit is recorded for LRU eviction.
+func (s *Store) Get(key Key) (payload []byte, ok bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	b, err := s.readVerifyLocked(e)
+	if err != nil {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	now := s.stampLocked()
+	e.atime = now
+	s.ll.MoveToFront(e.el)
+	s.stats.Hits++
+	s.mu.Unlock()
+	// Best-effort persistent atime: drop the record rather than block a
+	// read behind a saturated writer. Eviction order degrades gracefully.
+	s.closeMu.RLock()
+	if !s.closed {
+		select {
+		case s.writeCh <- writeOp{key: key, atime: now}:
+		default:
+		}
+	}
+	s.closeMu.RUnlock()
+	return b[HeaderSize:], true
+}
+
+// readVerifyLocked reads and verifies e's file, returning the full image
+// (header + payload). On any failure the entry is dropped and its file
+// quarantined; the caller reports a miss. Caller holds s.mu; reads stay
+// under the lock so eviction cannot unlink a file mid-read (entry payloads
+// are small canonical JSON).
+func (s *Store) readVerifyLocked(e *entry) ([]byte, error) {
+	b, err := os.ReadFile(s.objPath(e.key))
+	if err == nil {
+		if _, verr := verifyBytes(b, e.key); verr != nil {
+			err = verr
+		}
+	}
+	if err != nil {
+		s.stats.Corruptions++
+		s.dropLocked(e)
+		s.quarantine(e.key)
+		return nil, err
+	}
+	return b, nil
+}
+
+// verifyBytes is verifyEntryFile over an already-read file image.
+func verifyBytes(b []byte, key Key) (int64, error) {
+	h, err := DecodeHeader(b)
+	if err != nil {
+		return 0, err
+	}
+	if h.Key != key {
+		return 0, errors.New("store: key mismatch")
+	}
+	if uint64(len(b)-HeaderSize) != h.PayloadLen {
+		return 0, errors.New("store: length mismatch")
+	}
+	if sha256.Sum256(b[HeaderSize:]) != h.Checksum {
+		return 0, errors.New("store: checksum mismatch")
+	}
+	return int64(len(b)), nil
+}
+
+func (s *Store) dropLocked(e *entry) {
+	s.ll.Remove(e.el)
+	delete(s.entries, e.key)
+	s.bytes -= e.size
+}
+
+// Contains reports whether key is currently live without touching the file
+// or the access order.
+func (s *Store) Contains(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Put schedules the payload for durable storage under key. The write —
+// atomic temp+rename object file, fsync'd index append, budget eviction —
+// happens on the background writer; Flush or Close waits for it. The caller
+// must not mutate payload afterwards. A key already stored is recorded as a
+// duplicate and not rewritten (content addressing: same key, same bytes).
+func (s *Store) Put(key Key, graphHash, options [32]byte, payload []byte) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.writeCh <- writeOp{
+		key:       key,
+		graphHash: graphHash,
+		options:   options,
+		payload:   payload,
+	}
+	return nil
+}
+
+// Flush blocks until every Put enqueued before the call is durable on
+// disk (or the store is closed).
+func (s *Store) Flush() error {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ErrClosed
+	}
+	ack := make(chan struct{})
+	s.writeCh <- writeOp{ack: ack}
+	s.closeMu.RUnlock()
+	<-ack
+	return nil
+}
+
+// Close flushes pending writes, stops the writer, and syncs and closes the
+// index log. Further Puts fail with ErrClosed; Gets keep working off the
+// in-memory index (reads are lock-protected, not writer-dependent).
+func (s *Store) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	// All Put/Flush senders finished before closed was set (they hold the
+	// read lock across their send), so stop is the final op.
+	s.writeCh <- writeOp{stop: true}
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.indexF.Sync()
+	if cerr := s.indexF.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writer is the single goroutine applying mutations: object writes, index
+// appends, eviction. Serializing here keeps every filesystem mutation
+// ordered and lets Flush be a simple FIFO barrier.
+func (s *Store) writer() {
+	defer close(s.done)
+	for op := range s.writeCh {
+		switch {
+		case op.stop:
+			return
+		case op.ack != nil:
+			close(op.ack)
+		case op.payload == nil:
+			s.applyTouch(op)
+		default:
+			s.applyPut(op)
+		}
+	}
+}
+
+func (s *Store) applyTouch(op writeOp) {
+	s.mu.Lock()
+	_, ok := s.entries[op.key]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	// Touch lines are advisory (eviction ordering), appended without fsync:
+	// losing them in a crash only ages the entry. Index appends happen only
+	// on this writer goroutine, so no lock is held across the write.
+	fmt.Fprintf(s.indexF, "touch %x %d\n", op.key[:], op.atime)
+}
+
+func (s *Store) applyPut(op writeOp) {
+	s.mu.Lock()
+	if e, ok := s.entries[op.key]; ok {
+		s.stats.DupPuts++
+		e.atime = s.stampLocked()
+		s.ll.MoveToFront(e.el)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	size, err := s.writeObject(op)
+	if err != nil {
+		// Disk trouble (ENOSPC, permissions) degrades the store to a
+		// cache miss on restart; serving must not fail because
+		// persistence did.
+		s.mu.Lock()
+		s.stats.WriteErrors++
+		s.mu.Unlock()
+		return
+	}
+
+	var lines strings.Builder
+	s.mu.Lock()
+	e := &entry{key: op.key, size: size, atime: s.stampLocked()}
+	e.el = s.ll.PushFront(e)
+	s.entries[op.key] = e
+	s.bytes += size
+	s.stats.Puts++
+	fmt.Fprintf(&lines, "put %x %d %d\n", op.key[:], size, e.atime)
+	victims := s.evictLocked(&lines)
+	s.mu.Unlock()
+	// Index append + fsync run outside s.mu (writer-goroutine-only I/O) so
+	// readers never wait on the disk. One fsync covers the put and any
+	// eviction records it caused. Victim files are unlinked after the index
+	// is durable: a crash in between resurrects an orphan (re-adopted and
+	// re-evicted on reopen) rather than leaving a dangling index line.
+	fmt.Fprint(s.indexF, lines.String())
+	_ = s.indexF.Sync()
+	for _, k := range victims {
+		os.Remove(s.objPath(k))
+	}
+}
+
+// writeObject writes the entry file atomically: temp file in the store
+// root, full write + fsync, rename into objects/, directory fsync. A crash
+// at any point leaves either no visible file or a complete one.
+func (s *Store) writeObject(op writeOp) (int64, error) {
+	h := EncodeHeader(headerFor(op.key, op.graphHash, op.options, op.payload))
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	_, err = tmp.Write(h[:])
+	if err == nil {
+		_, err = tmp.Write(op.payload)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), s.objPath(op.key))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	// The rename made the object visible; a directory-fsync failure only
+	// widens its durability window. Reporting failure here would leave a
+	// live file untracked and uncounted, so tolerate it.
+	_ = syncDir(filepath.Join(s.dir, "objects"))
+	return int64(HeaderSize + len(op.payload)), nil
+}
+
+// evictLocked removes oldest-access entries until the byte budget holds,
+// keeping at least one entry (a single oversized result may exceed the
+// budget rather than thrash), and returns the victims' keys so the caller
+// can unlink their files outside the lock. Deletion records are appended
+// to lines when non-nil (runtime path); the Open path compacts the index
+// right after instead. Caller holds s.mu (or is single-threaded Open).
+func (s *Store) evictLocked(lines *strings.Builder) []Key {
+	if s.maxBytes <= 0 {
+		return nil
+	}
+	var victims []Key
+	for s.bytes > s.maxBytes && s.ll.Len() > 1 {
+		e := s.ll.Back().Value.(*entry)
+		s.dropLocked(e)
+		s.stats.Evictions++
+		victims = append(victims, e.key)
+		if lines != nil {
+			fmt.Fprintf(lines, "del %x\n", e.key[:])
+		}
+	}
+	return victims
+}
+
+// Entry is one live record surfaced by Recent for cache pre-warming.
+type Entry struct {
+	Key       Key
+	GraphHash [32]byte
+	Payload   []byte
+}
+
+// Recent returns up to n live entries, most recently used first, with
+// verified payloads (corrupt files are quarantined and skipped, exactly as
+// on Get, but without hit/miss accounting). The service uses it to pre-warm
+// its in-memory cache on startup.
+func (s *Store) Recent(n int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	el := s.ll.Front()
+	for el != nil && len(out) < n {
+		e := el.Value.(*entry)
+		el = el.Next() // advance first: a corrupt read unlinks e.el
+		b, err := s.readVerifyLocked(e)
+		if err != nil {
+			continue
+		}
+		h, _ := DecodeHeader(b)
+		out = append(out, Entry{Key: e.key, GraphHash: h.GraphHash, Payload: b[HeaderSize:]})
+	}
+	return out
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}
+
+// syncDir fsyncs a directory so a preceding rename is durable. Filesystems
+// that reject directory fsync (some CI overlays) are tolerated: the rename
+// itself is still atomic, only its durability window widens.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
+}
