@@ -21,11 +21,18 @@
 // jobs finish, the network pool is released, pending store writes are
 // flushed, then the process exits 0.
 //
+// For chaos testing, -faults (or the ECSS_FAULTS environment variable; the
+// flag wins) arms the internal/faults injection plan — see that package for
+// the spec grammar — and -reverify starts the store's background reverifier,
+// which periodically re-checks quarantined entries, restoring the ones that
+// verify clean and deleting the ones that fail twice (DESIGN.md §9).
+//
 // Usage:
 //
 //	ecssd [-addr :8080] [-queue 256] [-workers N] [-cache 512] [-pool N]
 //	      [-net-workers 1] [-drain-timeout 30s]
-//	      [-store-dir DIR] [-store-max-bytes 268435456]
+//	      [-store-dir DIR] [-store-max-bytes 268435456] [-reverify 0]
+//	      [-faults "solve.stage:panic,p=0.01;store.fsync:error,p=0.05"]
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"twoecss/internal/faults"
 	"twoecss/internal/service"
 	"twoecss/internal/store"
 )
@@ -61,12 +69,28 @@ func run() error {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	storeDir := flag.String("store-dir", "", "disk-backed result store directory (empty: results are not persisted)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "on-disk store budget, LRU-evicted (<=0: unbounded)")
+	reverify := flag.Duration("reverify", 0, "background store reverifier interval (0: disabled)")
+	faultSpec := flag.String("faults", "", "fault-injection plan (overrides ECSS_FAULTS; see internal/faults)")
 	flag.Parse()
+
+	spec := *faultSpec
+	if spec == "" {
+		spec = os.Getenv("ECSS_FAULTS")
+	}
+	if spec != "" {
+		if err := faults.Arm(spec); err != nil {
+			return err
+		}
+		log.Printf("ecssd: fault injection ARMED: %v", faults.Points())
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
-		st, err = store.Open(*storeDir, *storeMaxBytes)
+		st, err = store.OpenWith(*storeDir, store.Options{
+			MaxBytes:      *storeMaxBytes,
+			ReverifyEvery: *reverify,
+		})
 		if err != nil {
 			return fmt.Errorf("open store %s: %w", *storeDir, err)
 		}
@@ -128,8 +152,9 @@ func run() error {
 	log.Printf("ecssd: drained clean: %d submitted, %d solves, %d cache hits, %d store hits, %d coalesced, %d failed",
 		stats.Submitted, stats.Solves, stats.CacheHits, stats.StoreHits, stats.Coalesced, stats.Failed)
 	if stats.Store != nil {
-		log.Printf("ecssd: store flushed: %d entries / %d bytes on disk, %d puts, %d evictions, %d corruptions",
-			stats.Store.Entries, stats.Store.Bytes, stats.Store.Puts, stats.Store.Evictions, stats.Store.Corruptions)
+		log.Printf("ecssd: store flushed: %d entries / %d bytes on disk, %d puts, %d evictions, %d corruptions, %d quarantined, %d restored",
+			stats.Store.Entries, stats.Store.Bytes, stats.Store.Puts, stats.Store.Evictions,
+			stats.Store.Corruptions, stats.Store.Quarantined, stats.Store.Restored)
 	}
 	return nil
 }

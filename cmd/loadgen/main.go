@@ -12,20 +12,37 @@
 // invocations — `-max-solves 0` against a warm-restarted ecssd asserts that
 // every request was served from the persisted store with zero new solves.
 //
+// Chaos mode (-chaos) drives a server with armed fault injection: requests
+// carry randomized priority classes and deadlines, and every response is
+// classified — acknowledged results, explicit deadline expiries, 429/503
+// shedding (whose Retry-After contract is asserted), injected 5xx failures,
+// and connection errors are all tolerated, but a failure without an explicit
+// error message is not. Acknowledged results are appended to -acked-out as
+// "name sha256(result)" lines; a later run with -verify-acked FILE (against
+// a restarted server) replays exactly those instances and fails if any is no
+// longer served, or served with different bytes — the zero-lost-acks gate.
+// -min-acked and -min-restored gate the chaos run itself (the latter polls
+// the server until the store reports that many reverifier restores).
+//
 // Usage:
 //
 //	loadgen [-addr http://127.0.0.1:8080] [-duration 10s] [-concurrency 8]
 //	        [-n 96] [-families er,grid,ring,random,ba] [-seeds 4]
 //	        [-eps 0.25] [-min-cache-hits -1] [-min-store-hits -1]
 //	        [-max-solves -1]
+//	        [-chaos] [-acked-out FILE] [-verify-acked FILE]
+//	        [-min-acked -1] [-min-restored -1]
 package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"maps"
 	"math/rand"
 	"net/http"
 	"os"
@@ -47,7 +64,8 @@ func main() {
 
 type workItem struct {
 	name string
-	body []byte
+	req  service.SolveRequest // template; chaos mode varies priority/deadline
+	body []byte               // pre-marshaled req for the steady-state path
 }
 
 type sample struct {
@@ -66,6 +84,12 @@ func run() error {
 	minCacheHits := flag.Int64("min-cache-hits", -1, "fail unless the server reports at least this many cache hits (<0: no check)")
 	minStoreHits := flag.Int64("min-store-hits", -1, "fail unless the server reports at least this many disk-store hits (<0: no check)")
 	maxSolves := flag.Int64("max-solves", -1, "fail if the server ran more than this many solves (<0: no check; 0 gates a warm restart)")
+	chaos := flag.Bool("chaos", false, "chaos mode: mixed priorities and deadlines, fault-tolerant outcome classification")
+	ackedOut := flag.String("acked-out", "", "chaos mode: write acknowledged results here as 'name sha256' lines")
+	verifyAcked := flag.String("verify-acked", "", "replay the acked file against the server and fail on any lost or altered result")
+	minAcked := flag.Int64("min-acked", -1, "chaos mode: fail unless at least this many results were acknowledged (<0: no check)")
+	minExpired := flag.Int64("min-expired", -1, "chaos mode: fail unless at least this many requests expired with an explicit deadline error (<0: no check)")
+	minRestored := flag.Int64("min-restored", -1, "fail unless the server store reports at least this many reverifier restores (<0: no check)")
 	flag.Parse()
 
 	items, err := buildWorkload(*families, *n, *seeds, *eps)
@@ -75,6 +99,12 @@ func run() error {
 	client := &http.Client{Timeout: 5 * time.Minute}
 	if err := waitHealthy(client, *addr, 15*time.Second); err != nil {
 		return err
+	}
+	if *verifyAcked != "" {
+		return runVerifyAcked(client, *addr, items, *verifyAcked)
+	}
+	if *chaos {
+		return runChaos(client, *addr, items, *duration, *concurrency, *ackedOut, *minAcked, *minExpired, *minRestored)
 	}
 
 	var (
@@ -172,15 +202,20 @@ func buildWorkload(families string, n, seeds int, eps float64) ([]workItem, erro
 			if err != nil {
 				return nil, err
 			}
-			body, err := json.Marshal(service.SolveRequest{
+			req := service.SolveRequest{
 				Graph:   service.WireGraph(g),
 				Options: service.OptionsWire{Eps: eps},
 				Wait:    true,
-			})
+			}
+			body, err := json.Marshal(req)
 			if err != nil {
 				return nil, err
 			}
-			items = append(items, workItem{name: fmt.Sprintf("%s/n%d/s%d", fam, g.N, seed), body: body})
+			items = append(items, workItem{
+				name: fmt.Sprintf("%s/n%d/s%d", fam, g.N, seed),
+				req:  req,
+				body: body,
+			})
 		}
 	}
 	if len(items) == 0 {
@@ -228,6 +263,249 @@ func postSolve(client *http.Client, addr string, body []byte) (cached bool, err 
 		return false, fmt.Errorf("job %s finished %s: %s", jr.JobID, jr.Status, jr.Error)
 	}
 	return jr.Cached, nil
+}
+
+// chaosTally classifies every chaos-mode response. Only outcomes that are
+// silent about their cause are fatal; everything an operator can attribute —
+// injected faults, shed load, expired deadlines, dropped connections around
+// a restart — is counted and tolerated.
+type chaosTally struct {
+	acked       int64 // 200, done, result bytes in hand
+	expired     int64 // explicit deadline error (504 or failed job)
+	shed        int64 // 429 with Retry-After
+	unavailable int64 // 503 with Retry-After (draining)
+	injected    int64 // 5xx from an armed fault point, or explicit fault error
+	connErrs    int64 // transport errors (tolerated: the server may be dying)
+	silent      int64 // failures with no explicit error — the fatal class
+}
+
+type ackedRec struct {
+	name string
+	sum  string // hex sha256 of the result bytes
+}
+
+func runChaos(client *http.Client, addr string, items []workItem, duration time.Duration, concurrency int, ackedOut string, minAcked, minExpired, minRestored int64) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		tally chaosTally
+		acked []ackedRec
+	)
+	deadline := time.Now().Add(duration)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7000 + w)))
+			for time.Now().Before(deadline) {
+				it := items[rng.Intn(len(items))]
+				req := it.req
+				switch r := rng.Float64(); {
+				case r < 0.45:
+					req.Priority = "interactive"
+				case r < 0.80:
+					req.Priority = "batch"
+				default:
+					req.Priority = "background"
+				}
+				coldEps := rng.Float64() < 0.3
+				if coldEps {
+					// A fresh eps means a fresh content key: a guaranteed cold
+					// solve, so the queue sees real work even after the finite
+					// (family, seed) matrix is fully cached.
+					req.Options.Eps = 0.2 + 0.3*rng.Float64()
+				}
+				if rng.Float64() < 0.4 {
+					// Deadlines from DOA-tight to comfortably generous, so
+					// both the expiry and the success path stay exercised.
+					req.DeadlineMS = int64(1 + rng.Intn(500))
+				}
+				name, sum, out := classifyChaosResponse(client, addr, it.name, req)
+				mu.Lock()
+				tally.acked += out.acked
+				tally.expired += out.expired
+				tally.shed += out.shed
+				tally.unavailable += out.unavailable
+				tally.injected += out.injected
+				tally.connErrs += out.connErrs
+				tally.silent += out.silent
+				// Cold-eps results are not replayable from the acked file
+				// (its verify pass re-posts the default-options body), so
+				// only template-faithful acks are recorded.
+				if out.acked > 0 && !coldEps {
+					acked = append(acked, ackedRec{name: name, sum: sum})
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Printf("chaos outcomes: %d acked, %d expired, %d shed (429), %d unavailable (503), %d injected, %d conn errors, %d SILENT\n",
+		tally.acked, tally.expired, tally.shed, tally.unavailable, tally.injected, tally.connErrs, tally.silent)
+	if st, err := fetchStats(client, addr); err == nil {
+		fmt.Printf("server stats:  %d submitted, %d solves, %d retries, %d panics recovered, %d failed\n",
+			st.Submitted, st.Solves, st.Retries, st.PanicsRecovered, st.Failed)
+		for class, cs := range st.Classes {
+			fmt.Printf("  class %-12s %d submitted, %d queued, %d shed, %d expired, %d canceled, %d rejected-full\n",
+				class+":", cs.Submitted, cs.Queued, cs.Shed, cs.Expired, cs.Canceled, cs.RejectedFull)
+		}
+		if st.Store != nil {
+			fmt.Printf("server store:  %d entries, %d corruptions, %d quarantined (%d failed), %d restored, %d reverify-deleted\n",
+				st.Store.Entries, st.Store.Corruptions, st.Store.Quarantined,
+				st.Store.QuarantineFails, st.Store.Restored, st.Store.ReverifyDeleted)
+		}
+		for _, name := range slices.Sorted(maps.Keys(st.Faults)) {
+			fmt.Printf("  fault %-18s %d hits, %d fires\n", name+":", st.Faults[name].Hits, st.Faults[name].Fires)
+		}
+	}
+
+	if ackedOut != "" {
+		var b strings.Builder
+		for _, rec := range acked {
+			fmt.Fprintf(&b, "%s %s\n", rec.name, rec.sum)
+		}
+		if err := os.WriteFile(ackedOut, []byte(b.String()), 0o644); err != nil {
+			return fmt.Errorf("write acked file: %w", err)
+		}
+		fmt.Printf("acked file:    %d records -> %s\n", len(acked), ackedOut)
+	}
+	if tally.silent > 0 {
+		return fmt.Errorf("%d failures carried no explicit error — every chaos failure must be attributable", tally.silent)
+	}
+	if minAcked >= 0 && tally.acked < minAcked {
+		return fmt.Errorf("only %d results acknowledged, need >= %d", tally.acked, minAcked)
+	}
+	if minExpired >= 0 && tally.expired < minExpired {
+		return fmt.Errorf("only %d requests expired with a deadline error, need >= %d", tally.expired, minExpired)
+	}
+	if minRestored >= 0 {
+		// The background reverifier runs on its own clock; give it a moment.
+		waitUntil := time.Now().Add(15 * time.Second)
+		for {
+			st, err := fetchStats(client, addr)
+			if err == nil && st.Store != nil && st.Store.Restored >= minRestored {
+				break
+			}
+			if time.Now().After(waitUntil) {
+				restored := int64(-1)
+				if err == nil && st.Store != nil {
+					restored = st.Store.Restored
+				}
+				return fmt.Errorf("store reports %d reverifier restores, need >= %d", restored, minRestored)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// classifyChaosResponse performs one chaos request and buckets its outcome;
+// for acknowledged results it returns the item name and result digest.
+func classifyChaosResponse(client *http.Client, addr, name string, req service.SolveRequest) (string, string, chaosTally) {
+	var out chaosTally
+	body, err := json.Marshal(req)
+	if err != nil {
+		out.silent++
+		return name, "", out
+	}
+	resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		out.connErrs++
+		return name, "", out
+	}
+	defer resp.Body.Close()
+	var jr service.JobResponse
+	derr := json.NewDecoder(resp.Body).Decode(&jr)
+	io.Copy(io.Discard, resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			out.silent++ // the shed contract promises a retry hint
+		} else {
+			out.shed++
+		}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		if resp.Header.Get("Retry-After") == "" {
+			out.silent++
+		} else {
+			out.unavailable++
+		}
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		out.expired++ // deadline dead on arrival
+	case resp.StatusCode >= 500:
+		out.injected++ // armed http-layer fault
+	case derr != nil:
+		out.connErrs++ // truncated response mid-restart
+	case jr.Status == service.StatusDone && len(jr.Result) > 0:
+		out.acked++
+		sum := sha256.Sum256(jr.Result)
+		return name, hex.EncodeToString(sum[:]), out
+	case jr.Status == service.StatusFailed && strings.Contains(jr.Error, "deadline"):
+		out.expired++
+	case jr.Error != "":
+		out.injected++ // recovered panic / injected fault, explicitly reported
+	default:
+		out.silent++
+	}
+	return name, "", out
+}
+
+// runVerifyAcked replays every acknowledged record from a previous chaos run
+// and fails on the first lost or altered result: the zero-lost-acks gate.
+func runVerifyAcked(client *http.Client, addr string, items []workItem, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read acked file: %w", err)
+	}
+	byName := make(map[string]workItem, len(items))
+	for _, it := range items {
+		byName[it.name] = it
+	}
+	seen := make(map[string]string) // name -> expected sum (dedup replays)
+	verified := 0
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		name, sum, ok := strings.Cut(line, " ")
+		if !ok {
+			return fmt.Errorf("%s:%d: malformed record %q", path, lineNo+1, line)
+		}
+		if prev, dup := seen[name]; dup {
+			if prev != sum {
+				return fmt.Errorf("%s acknowledged with two different digests (%s vs %s)", name, prev[:12], sum[:12])
+			}
+			continue
+		}
+		seen[name] = sum
+		it, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("acked item %q not in this workload (check -families/-n/-seeds match the chaos run)", name)
+		}
+		resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(it.body))
+		if err != nil {
+			return fmt.Errorf("replay %s: %w", name, err)
+		}
+		var jr service.JobResponse
+		derr := json.NewDecoder(resp.Body).Decode(&jr)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if derr != nil {
+			return fmt.Errorf("replay %s: decode (HTTP %d): %w", name, resp.StatusCode, derr)
+		}
+		if resp.StatusCode != http.StatusOK || jr.Status != service.StatusDone {
+			return fmt.Errorf("ACKED RESULT LOST: %s now HTTP %d status %s: %s", name, resp.StatusCode, jr.Status, jr.Error)
+		}
+		got := sha256.Sum256(jr.Result)
+		if hex.EncodeToString(got[:]) != sum {
+			return fmt.Errorf("ACKED RESULT ALTERED: %s digest changed", name)
+		}
+		verified++
+	}
+	fmt.Printf("verify-acked:  %d distinct acknowledged results replayed byte-identically\n", verified)
+	return nil
 }
 
 func fetchStats(client *http.Client, addr string) (service.Stats, error) {

@@ -1,0 +1,288 @@
+// Package faults is a process-wide fault-injection registry. Production
+// code marks injection sites with Point(name); a test, the ECSS_FAULTS
+// environment variable, or ecssd's -faults flag arms a plan that makes
+// chosen sites fail — return an error, panic, or stall — with optional
+// probability and count bounds. Disarmed (the default), Point is a single
+// atomic pointer load returning nil, so sites can sit on hot paths.
+//
+// A plan is a semicolon-separated list of point specs:
+//
+//	name:mode[,k=v]...
+//
+// Modes:
+//
+//	error[=msg]   Point returns a *Fault error
+//	panic[=msg]   Point panics with a *Fault
+//	delay=DUR     Point sleeps DUR (time.ParseDuration syntax), returns nil
+//
+// Modifiers:
+//
+//	p=F           fire with probability F in (0,1] (default 1; deterministic
+//	              per-point PRNG seeded from the point name, so a plan
+//	              replays identically within a process)
+//	count=N       fire at most N times, then the point goes quiet
+//	after=N       ignore the first N hits before the other rules apply
+//
+// Example: "solve.stage:panic,p=0.05;store.fsync:error,count=3".
+//
+// Sites currently wired (see DESIGN.md §9): solve.pre, solve.stage,
+// solve.postverify (internal/service worker), store.rename, store.fsync,
+// store.index, store.read (internal/store), http.solve (HTTP layer).
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is the error (or panic value) a fired injection point produces.
+// Consumers distinguish injected failures from organic ones with errors.As,
+// e.g. to classify them as retryable.
+type Fault struct {
+	// PointName is the site that fired.
+	PointName string
+	// Msg is the operator-supplied message, if any.
+	Msg string
+}
+
+func (f *Fault) Error() string {
+	if f.Msg != "" {
+		return fmt.Sprintf("fault injected at %s: %s", f.PointName, f.Msg)
+	}
+	return fmt.Sprintf("fault injected at %s", f.PointName)
+}
+
+type mode int
+
+const (
+	modeError mode = iota
+	modePanic
+	modeDelay
+)
+
+type point struct {
+	name  string
+	mode  mode
+	msg   string
+	delay time.Duration
+	p     float64
+	after int64 // hits to ignore before anything fires
+	count int64 // max fires; <0 unlimited
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	hits  int64
+	fires int64
+}
+
+// decide applies after/p/count under the point lock and reports whether the
+// site fires this hit.
+func (pt *point) decide() bool {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.hits++
+	if pt.hits <= pt.after {
+		return false
+	}
+	if pt.count >= 0 && pt.fires >= pt.count {
+		return false
+	}
+	if pt.p < 1 && pt.rng.Float64() >= pt.p {
+		return false
+	}
+	pt.fires++
+	return true
+}
+
+// Plan is a parsed, armed set of injection points.
+type Plan struct {
+	points map[string]*point
+}
+
+var armed atomic.Pointer[Plan]
+
+// Enabled reports whether any plan is armed.
+func Enabled() bool { return armed.Load() != nil }
+
+// Arm parses spec and installs it as the process-wide plan, replacing any
+// previous one. An empty spec disarms.
+func Arm(spec string) error {
+	pl, err := Parse(spec)
+	if err != nil {
+		return err
+	}
+	if pl == nil || len(pl.points) == 0 {
+		Disarm()
+		return nil
+	}
+	armed.Store(pl)
+	return nil
+}
+
+// Disarm removes the active plan; every Point returns nil again.
+func Disarm() { armed.Store(nil) }
+
+// Parse parses a plan spec without arming it. An empty spec yields nil.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	pl := &Plan{points: make(map[string]*point)}
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		pt, err := parsePoint(raw)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %q: %w", raw, err)
+		}
+		if _, dup := pl.points[pt.name]; dup {
+			return nil, fmt.Errorf("faults: point %q specified twice", pt.name)
+		}
+		pl.points[pt.name] = pt
+	}
+	return pl, nil
+}
+
+func parsePoint(raw string) (*point, error) {
+	name, rest, ok := strings.Cut(raw, ":")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return nil, fmt.Errorf("want name:mode[,k=v]")
+	}
+	// Deterministic per-point PRNG: the seed depends only on the point name,
+	// so a probabilistic plan replays identically run to run.
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	pt := &point{
+		name:  name,
+		p:     1,
+		count: -1,
+		rng:   rand.New(rand.NewSource(int64(h.Sum64()))),
+	}
+	seenMode := false
+	for i, f := range strings.Split(rest, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		k, v, hasVal := strings.Cut(f, "=")
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		isMode := k == "error" || k == "panic" || k == "delay"
+		if i == 0 && !isMode {
+			return nil, fmt.Errorf("first field must be a mode (error|panic|delay), got %q", k)
+		}
+		switch k {
+		case "error":
+			pt.mode, pt.msg, seenMode = modeError, v, true
+		case "panic":
+			pt.mode, pt.msg, seenMode = modePanic, v, true
+		case "delay":
+			if !hasVal {
+				return nil, fmt.Errorf("delay needs a duration")
+			}
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("bad delay %q", v)
+			}
+			pt.mode, pt.delay, seenMode = modeDelay, d, true
+		case "p":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("p must be in (0,1], got %q", v)
+			}
+			pt.p = p
+		case "count":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad count %q", v)
+			}
+			pt.count = n
+		case "after":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad after %q", v)
+			}
+			pt.after = n
+		default:
+			return nil, fmt.Errorf("unknown field %q", k)
+		}
+	}
+	if !seenMode {
+		return nil, fmt.Errorf("missing mode (error|panic|delay)")
+	}
+	return pt, nil
+}
+
+// Point marks an injection site. With no armed plan, or no spec for name, it
+// returns nil. Otherwise the point's mode applies: error mode returns a
+// *Fault, panic mode panics with one, delay mode sleeps and returns nil.
+// Sites that cannot surface an error (progress callbacks) ignore the return
+// value; error mode is then a no-op there by construction.
+func Point(name string) error {
+	pl := armed.Load()
+	if pl == nil {
+		return nil
+	}
+	pt, ok := pl.points[name]
+	if !ok || !pt.decide() {
+		return nil
+	}
+	switch pt.mode {
+	case modePanic:
+		panic(&Fault{PointName: name, Msg: pt.msg})
+	case modeDelay:
+		time.Sleep(pt.delay)
+		return nil
+	default:
+		return &Fault{PointName: name, Msg: pt.msg}
+	}
+}
+
+// PointStats is the observable history of one armed point.
+type PointStats struct {
+	// Hits counts Point calls that found this spec; Fires counts the subset
+	// that actually injected the fault.
+	Hits  int64 `json:"hits"`
+	Fires int64 `json:"fires"`
+}
+
+// Snapshot returns per-point counters of the armed plan, or nil when
+// disarmed. The service exposes it under /v1/stats.
+func Snapshot() map[string]PointStats {
+	pl := armed.Load()
+	if pl == nil {
+		return nil
+	}
+	out := make(map[string]PointStats, len(pl.points))
+	for name, pt := range pl.points {
+		pt.mu.Lock()
+		out[name] = PointStats{Hits: pt.hits, Fires: pt.fires}
+		pt.mu.Unlock()
+	}
+	return out
+}
+
+// Points lists the armed point names, sorted, for log lines.
+func Points() []string {
+	pl := armed.Load()
+	if pl == nil {
+		return nil
+	}
+	names := make([]string, 0, len(pl.points))
+	for name := range pl.points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+)
+
+// Priority is a job's admission class. Higher values are served first and
+// may shed lower ones when the queue is full; within a class the queue is
+// FIFO. The zero value is PriorityBackground, the most sheddable class;
+// untyped submissions (Submit, wire requests without a priority) default to
+// PriorityBatch.
+type Priority int8
+
+const (
+	PriorityBackground Priority = iota
+	PriorityBatch
+	PriorityInteractive
+	numPriorities = 3
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityInteractive:
+		return "interactive"
+	case PriorityBatch:
+		return "batch"
+	case PriorityBackground:
+		return "background"
+	}
+	return fmt.Sprintf("priority(%d)", int8(p))
+}
+
+// ParsePriority maps a wire string to a Priority; the empty string selects
+// the PriorityBatch default.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "interactive":
+		return PriorityInteractive, nil
+	case "", "batch":
+		return PriorityBatch, nil
+	case "background":
+		return PriorityBackground, nil
+	}
+	return PriorityBatch, fmt.Errorf("unknown priority %q (interactive|batch|background)", s)
+}
+
+// Admit carries the admission-control inputs of one submission, separate
+// from the solver Options because they shape scheduling, not the result.
+type Admit struct {
+	// Priority is the job's admission class.
+	Priority Priority
+	// Deadline, when non-zero, is the instant after which the job is not
+	// worth starting: expired queued jobs are shed first when the queue is
+	// full, and a worker that pops an expired job fails it with
+	// ErrDeadlineExceeded instead of solving.
+	Deadline time.Time
+	// Cancelable marks a submitter that waits on the job and abandons it on
+	// disconnect (Service.Abandon): a queued job whose cancelable waiters
+	// all left is dropped and its slot freed. A single non-cancelable
+	// submission (fire-and-poll clients) pins the job to run regardless.
+	Cancelable bool
+}
+
+// ClassStats is the per-priority-class slice of the service counters.
+type ClassStats struct {
+	// Submitted counts submissions tagged with this class (including ones
+	// served from cache or rejected).
+	Submitted int64 `json:"submitted"`
+	// Queued is the current number of queued jobs in the class.
+	Queued int `json:"queued"`
+	// Shed counts queued jobs dropped to admit a higher-priority one;
+	// Expired counts jobs dropped because their deadline passed (at shed
+	// time or at worker pickup); Canceled counts queued jobs dropped because
+	// every cancelable submitter abandoned them.
+	Shed     int64 `json:"shed"`
+	Expired  int64 `json:"expired"`
+	Canceled int64 `json:"canceled"`
+	// RejectedFull counts submissions of this class rejected with
+	// ErrQueueFull after the shed policy found nothing to drop.
+	RejectedFull int64 `json:"rejected_full"`
+}
+
+var (
+	// ErrDeadlineExceeded reports a job whose deadline passed before its
+	// solve could start (or finish a retry). It is both a Submit error (for
+	// dead-on-arrival deadlines) and a terminal job error.
+	ErrDeadlineExceeded = errors.New("service: deadline exceeded before solve")
+	// ErrShed is the terminal error of a queued job dropped by the shed
+	// policy to admit a higher-priority submission.
+	ErrShed = errors.New("service: shed from queue by higher-priority admission")
+	// ErrCanceled is the terminal error of a queued job abandoned by every
+	// cancelable submitter before a worker picked it up.
+	ErrCanceled = errors.New("service: canceled by submitter before start")
+)
+
+// enqueueLocked appends j to its class FIFO. Caller holds s.mu and has
+// checked capacity.
+func (s *Service) enqueueLocked(j *Job) {
+	s.queues[j.priority] = append(s.queues[j.priority], j)
+	s.qlen++
+	s.cond.Signal()
+}
+
+// popLocked removes and returns the oldest job of the highest non-empty
+// class, or nil. Caller holds s.mu.
+func (s *Service) popLocked() *Job {
+	for c := numPriorities - 1; c >= 0; c-- {
+		if q := s.queues[c]; len(q) > 0 {
+			j := q[0]
+			q[0] = nil // release the reference; the backing array is reused
+			s.queues[c] = q[1:]
+			s.qlen--
+			return j
+		}
+	}
+	return nil
+}
+
+// removeQueuedLocked unlinks j from its class FIFO, reporting whether it was
+// still queued there. Caller holds s.mu.
+func (s *Service) removeQueuedLocked(j *Job) bool {
+	q := s.queues[j.priority]
+	for i, cand := range q {
+		if cand == j {
+			s.queues[j.priority] = slices.Delete(q, i, i+1)
+			s.qlen--
+			return true
+		}
+	}
+	return false
+}
+
+// failDequeuedLocked drives an already-dequeued job to StatusFailed with
+// cause, keeping it addressable via JobInfo. Shed/expired/canceled jobs do
+// not count toward Stats.Failed (which, with Completed, tallies solve
+// executions); their class counters record them instead. Caller holds s.mu.
+func (s *Service) failDequeuedLocked(j *Job, cause error) {
+	j.status = StatusFailed
+	j.err = cause
+	j.finished = time.Now()
+	j.phase = ""
+	j.g = nil
+	delete(s.inflight, j.key)
+	s.retire(j)
+	close(j.done)
+}
+
+// shedExpiredLocked drops every queued job whose deadline has passed,
+// failing each with ErrDeadlineExceeded, and reports whether any slot was
+// freed. Caller holds s.mu.
+func (s *Service) shedExpiredLocked(now time.Time) bool {
+	freed := false
+	for c := 0; c < numPriorities; c++ {
+		q := s.queues[c]
+		for i := 0; i < len(q); {
+			j := q[i]
+			if j.deadline.IsZero() || now.Before(j.deadline) {
+				i++
+				continue
+			}
+			q = slices.Delete(q, i, i+1)
+			s.qlen--
+			s.classes[j.priority].Expired++
+			s.failDequeuedLocked(j, ErrDeadlineExceeded)
+			freed = true
+		}
+		s.queues[c] = q
+	}
+	return freed
+}
+
+// shedForLocked frees one slot for an incoming job of class prio by dropping
+// the youngest queued job of the lowest non-empty class strictly below it
+// (youngest: it has waited least, so dropping it wastes the least queue
+// time). Returns false when nothing outranks. Caller holds s.mu.
+func (s *Service) shedForLocked(prio Priority) bool {
+	for c := Priority(0); c < prio; c++ {
+		q := s.queues[c]
+		if len(q) == 0 {
+			continue
+		}
+		j := q[len(q)-1]
+		q[len(q)-1] = nil
+		s.queues[c] = q[:len(q)-1]
+		s.qlen--
+		s.classes[j.priority].Shed++
+		s.failDequeuedLocked(j, ErrShed)
+		return true
+	}
+	return false
+}
+
+// Abandon signals that one cancelable submitter of j (a wait=true HTTP
+// client, typically) has stopped caring — it disconnected before the job
+// finished. When the last cancelable watcher of a still-queued job leaves
+// and no non-cancelable submission pinned it, the job is dropped from the
+// queue with ErrCanceled and its slot freed. Abandoning a running or
+// terminal job is a no-op: work already under way completes (and populates
+// the cache) regardless.
+func (s *Service) Abandon(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j == nil || j.status != StatusQueued {
+		return
+	}
+	if j.watchers > 0 {
+		j.watchers--
+	}
+	if !j.autocancel || j.watchers > 0 {
+		return
+	}
+	if s.removeQueuedLocked(j) {
+		s.classes[j.priority].Canceled++
+		s.failDequeuedLocked(j, ErrCanceled)
+	}
+}
+
+// RetryAfterHint estimates, in whole seconds (>=1), how long a rejected
+// client should wait before retrying: the current queue length spread over
+// the worker pool, scaled by the recent average solve duration. It backs
+// the Retry-After header on 429/503 responses.
+func (s *Service) RetryAfterHint() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	est := time.Second
+	if s.ewmaSolveNs > 0 {
+		waves := s.qlen/s.cfg.Workers + 1
+		est = time.Duration(s.ewmaSolveNs * float64(waves))
+	}
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

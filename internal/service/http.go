@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"slices"
+	"strconv"
 	"time"
 
 	"twoecss/internal/ecss"
+	"twoecss/internal/faults"
 	"twoecss/internal/graph"
 	"twoecss/internal/tap"
 )
@@ -101,8 +103,20 @@ type SolveRequest struct {
 	Graph   GraphWire   `json:"graph"`
 	Options OptionsWire `json:"options"`
 	// Wait blocks the request until the job is terminal (or the client
-	// disconnects) instead of returning the queued job immediately.
+	// disconnects) instead of returning the queued job immediately. A
+	// waiting client that disconnects abandons its queued job: when no
+	// other submitter still wants it, the job is canceled and its queue
+	// slot freed.
 	Wait bool `json:"wait,omitempty"`
+	// Priority is the admission class: "interactive" > "batch" (default) >
+	// "background". Under a full queue, higher classes shed queued lower
+	// ones instead of being rejected.
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMS, when positive, bounds how long the job is worth solving,
+	// in milliseconds from receipt. An expired job is shed from the queue
+	// (or failed at worker pickup) with an explicit deadline-exceeded
+	// error. A request-context deadline, if sooner, applies too.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // ResultWire is the canonical JSON encoding of a solution; every requester
@@ -217,6 +231,10 @@ func (s *Service) Handler() http.Handler {
 }
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if err := faults.Point("http.solve"); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	var req SolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
@@ -233,13 +251,37 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad options: %w", err))
 		return
 	}
-	job, hit, err := s.Submit(g, opt)
+	adm := Admit{Cancelable: req.Wait}
+	if adm.Priority, err = ParsePriority(req.Priority); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.DeadlineMS < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("deadline_ms must be >= 0, got %d", req.DeadlineMS))
+		return
+	}
+	if req.DeadlineMS > 0 {
+		adm.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	// Propagate the transport deadline too: a job is not worth starting
+	// after the request that asked for it has timed out.
+	if ctxDL, ok := r.Context().Deadline(); ok && (adm.Deadline.IsZero() || ctxDL.Before(adm.Deadline)) {
+		adm.Deadline = ctxDL
+	}
+	job, hit, err := s.SubmitWith(g, opt, adm)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		// Load shedding, not a client error: tell the client when a retry
+		// is likely to be admitted.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
 		httpError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
 		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrDeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err)
 		return
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err)
@@ -250,7 +292,10 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-job.Done():
 		case <-r.Context().Done():
-			// Client gone; report the job as it stands.
+			// Client gone: withdraw this waiter's interest. If it was the
+			// last one and the job is still queued, the job is canceled and
+			// its slot freed; the response below reports it as it stands.
+			s.Abandon(job)
 		}
 	}
 	resp := s.snapshot(job)

@@ -1,11 +1,13 @@
 // Package service implements the long-running 2-ECSS solver service that
-// fronts the paper's pipeline with a serving layer: a bounded job queue
-// with admission control, a configurable worker pool executing solves on
-// pooled congest Networks (NetworkPool), an in-flight coalescing table and
-// a content-addressed LRU result cache keyed by the canonical graph digest
-// plus solve options, per-job status/progress, and graceful drain on
-// shutdown. cmd/ecssd exposes it over an HTTP JSON API (http.go) and
-// cmd/loadgen drives it; DESIGN.md §7 describes the architecture.
+// fronts the paper's pipeline with a serving layer: a bounded priority job
+// queue with deadline- and class-aware admission control (admission.go), a
+// configurable worker pool executing solves on pooled congest Networks
+// (NetworkPool) with panic recovery and bounded retry, an in-flight
+// coalescing table and a content-addressed LRU result cache keyed by the
+// canonical graph digest plus solve options, per-job status/progress, and
+// graceful drain on shutdown. cmd/ecssd exposes it over an HTTP JSON API
+// (http.go) and cmd/loadgen drives it; DESIGN.md §7 and §9 describe the
+// architecture and the fault model.
 package service
 
 import (
@@ -17,7 +19,9 @@ import (
 	"sync"
 	"time"
 
+	"twoecss/internal/congest"
 	"twoecss/internal/ecss"
+	"twoecss/internal/faults"
 	"twoecss/internal/graph"
 	"twoecss/internal/store"
 )
@@ -25,7 +29,8 @@ import (
 // Config sizes the service. Zero values select the documented defaults.
 type Config struct {
 	// QueueDepth bounds the jobs admitted but not yet picked up by a
-	// worker; Submit rejects with ErrQueueFull beyond it (default 64).
+	// worker, across all priority classes; beyond it the shed policy runs
+	// and Submit may reject with ErrQueueFull (default 64).
 	QueueDepth int
 	// Workers is the number of solver goroutines (default GOMAXPROCS).
 	Workers int
@@ -86,6 +91,14 @@ type Job struct {
 	g   *graph.Graph // released once the solve starts
 	opt ecss.Options
 
+	priority Priority
+	deadline time.Time // zero: none
+	// watchers counts cancelable submitters still waiting; autocancel is
+	// cleared forever once any non-cancelable submission attaches (see
+	// Admit.Cancelable and Service.Abandon).
+	watchers   int
+	autocancel bool
+
 	status   Status
 	phase    string
 	created  time.Time
@@ -112,12 +125,19 @@ type Stats struct {
 	// Submitted counts every Submit call that passed input validation,
 	// including ones rejected by a full queue or a draining service.
 	Submitted int64 `json:"submitted"`
-	// Completed and Failed count terminal jobs; Solves counts pipeline
-	// executions (Completed + Failed; every other submission was served
-	// without solving).
+	// Completed and Failed count jobs whose solve reached a terminal state;
+	// Solves counts jobs that executed the pipeline (Completed + Failed —
+	// a job retried after a recovered panic still counts once; Retries
+	// tallies the extra attempts). Jobs shed, expired, or canceled while
+	// queued appear in Classes, not here.
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Solves    int64 `json:"solves"`
+	// Retries counts solve attempts re-run after a retryable failure
+	// (recovered panic or injected fault); PanicsRecovered counts solver
+	// panics converted into per-job errors instead of killing the worker.
+	Retries         int64 `json:"retries"`
+	PanicsRecovered int64 `json:"panics_recovered"`
 	// CacheHits counts submissions served from the in-memory result cache
 	// (including entries pre-warmed from the store); Coalesced counts
 	// submissions attached to an identical in-flight job; StoreHits counts
@@ -132,10 +152,16 @@ type Stats struct {
 	QueueDepth   int              `json:"queue_depth"`
 	Inflight     int              `json:"inflight"`
 	CacheEntries int              `json:"cache_entries"`
-	Pool         NetworkPoolStats `json:"pool"`
+	// Classes breaks queue traffic down per priority class, keyed by
+	// Priority.String().
+	Classes map[string]ClassStats `json:"classes"`
+	Pool    NetworkPoolStats      `json:"pool"`
 	// Store mirrors the disk store's counters; nil when the service runs
 	// without persistence.
 	Store *store.Stats `json:"store,omitempty"`
+	// Faults mirrors the armed fault-injection plan's per-point counters;
+	// nil when no plan is armed.
+	Faults map[string]faults.PointStats `json:"faults,omitempty"`
 }
 
 // Hits is the total number of submissions served without a solve.
@@ -143,15 +169,25 @@ func (s Stats) Hits() int64 { return s.CacheHits + s.Coalesced + s.StoreHits }
 
 var (
 	// ErrQueueFull reports that admission failed because the queue is at
-	// QueueDepth.
+	// QueueDepth and the shed policy found no expired or lower-priority
+	// queued job to drop.
 	ErrQueueFull = errors.New("service: job queue full")
 	// ErrDraining reports that the service no longer accepts jobs.
 	ErrDraining = errors.New("service: draining, not accepting jobs")
 )
 
 // retainFinished bounds how many terminal jobs that fell out of the result
-// cache (failures, evictions) stay addressable via JobInfo.
+// cache (failures, evictions, shed jobs) stay addressable via JobInfo.
 const retainFinished = 256
+
+// Solve retry policy: one retry after a retryable failure (recovered panic
+// or injected fault), with exponential backoff from retryBackoffBase —
+// bounded on both axes so a crashing solver degrades to fast per-job errors,
+// never a retry storm.
+const (
+	maxSolveRetries  = 1
+	retryBackoffBase = 25 * time.Millisecond
+)
 
 // Service is the solver service. Create with New, stop with Drain.
 type Service struct {
@@ -160,16 +196,24 @@ type Service struct {
 	store *store.Store // nil: no persistence
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signaled on enqueue and at drain
 	seq      int64
 	jobs     map[string]*Job
 	inflight map[Key]*Job
 	cache    *jobCache
 	retired  []string // FIFO of terminal, uncached job ids still in jobs
 	stats    Stats
-	draining bool
+	classes  [numPriorities]ClassStats
+	// queues holds the admitted-not-yet-running jobs, one FIFO per
+	// priority class; qlen is their total length, bounded by QueueDepth.
+	queues [numPriorities][]*Job
+	qlen   int
+	// ewmaSolveNs tracks the recent average solve wall time, feeding the
+	// Retry-After hint.
+	ewmaSolveNs float64
+	draining    bool
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	wg sync.WaitGroup
 
 	// testJobStart, when set (tests only), runs at the top of every worker
 	// job execution, before the solve.
@@ -189,8 +233,8 @@ func New(cfg Config) *Service {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[Key]*Job),
 		cache:    newJobCache(cfg.CacheEntries),
-		queue:    make(chan *Job, cfg.QueueDepth),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	if s.store != nil && cfg.CacheEntries > 0 {
 		// Recent returns MRU-first; insert oldest-first so the memory
 		// cache's LRU order mirrors the store's.
@@ -244,13 +288,27 @@ var closedDone = func() chan struct{} {
 // Config returns the effective (defaulted) configuration.
 func (s *Service) Config() Config { return s.cfg }
 
-// Submit admits a solve of g under opt and returns the job serving it plus
-// whether it was a hit (served from the result cache or coalesced onto an
-// identical in-flight job — in both cases the returned job may belong to an
-// earlier submission). The caller must not mutate g after Submit. Identity
-// is content-addressed: structurally identical graphs dedupe regardless of
-// how or in what edge order they were built.
+// Submit admits a solve of g under opt at the default batch priority with
+// no deadline. See SubmitWith.
 func (s *Service) Submit(g *graph.Graph, opt ecss.Options) (*Job, bool, error) {
+	return s.SubmitWith(g, opt, Admit{Priority: PriorityBatch})
+}
+
+// SubmitWith admits a solve of g under opt with adm's scheduling class and
+// deadline, returning the job serving it plus whether it was a hit (served
+// from the result cache or coalesced onto an identical in-flight job — in
+// both cases the returned job may belong to an earlier submission, possibly
+// of a different class). The caller must not mutate g after SubmitWith.
+// Identity is content-addressed: structurally identical graphs dedupe
+// regardless of how or in what edge order they were built.
+//
+// When the queue is at QueueDepth, admission sheds by policy before
+// rejecting: expired queued jobs are dropped first (any class), then the
+// youngest queued job of a class below adm.Priority; only if neither frees
+// a slot does SubmitWith return ErrQueueFull. A deadline already in the
+// past fails fast with ErrDeadlineExceeded (unless the result is on hand:
+// cache and coalescing hits serve instantly and ignore the deadline).
+func (s *Service) SubmitWith(g *graph.Graph, opt ecss.Options, adm Admit) (*Job, bool, error) {
 	if opt.Eps <= 0 {
 		return nil, false, fmt.Errorf("service: eps must be positive, got %g", opt.Eps)
 	}
@@ -260,6 +318,9 @@ func (s *Service) Submit(g *graph.Graph, opt ecss.Options) (*Job, bool, error) {
 	if opt.Root < 0 || opt.Root >= g.N {
 		return nil, false, fmt.Errorf("service: root %d out of range [0,%d)", opt.Root, g.N)
 	}
+	if adm.Priority < 0 || adm.Priority >= numPriorities {
+		return nil, false, fmt.Errorf("service: priority %d out of range", adm.Priority)
+	}
 	opt.Workers = s.cfg.NetWorkers
 	opt.Progress = nil
 	ghash := g.Hash()
@@ -268,12 +329,14 @@ func (s *Service) Submit(g *graph.Graph, opt ecss.Options) (*Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Submitted++
+	s.classes[adm.Priority].Submitted++
 	if s.draining {
 		s.stats.RejectedDraining++
 		return nil, false, ErrDraining
 	}
 	if j, ok := s.inflight[key]; ok {
 		s.stats.Coalesced++
+		s.attachLocked(j, adm)
 		return j, true, nil
 	}
 	if j, ok := s.cache.get(key); ok {
@@ -294,6 +357,7 @@ func (s *Service) Submit(g *graph.Graph, opt ecss.Options) (*Job, bool, error) {
 		}
 		if j, ok := s.inflight[key]; ok {
 			s.stats.Coalesced++
+			s.attachLocked(j, adm)
 			return j, true, nil
 		}
 		if j, ok := s.cache.get(key); ok {
@@ -305,33 +369,85 @@ func (s *Service) Submit(g *graph.Graph, opt ecss.Options) (*Job, bool, error) {
 			return s.adoptStoredLocked(key, ghash, payload), true, nil
 		}
 	}
+	now := time.Now()
+	if !adm.Deadline.IsZero() && !now.Before(adm.Deadline) {
+		s.classes[adm.Priority].Expired++
+		return nil, false, ErrDeadlineExceeded
+	}
+	if s.qlen >= s.cfg.QueueDepth {
+		s.shedExpiredLocked(now)
+	}
+	if s.qlen >= s.cfg.QueueDepth && !s.shedForLocked(adm.Priority) {
+		s.stats.RejectedFull++
+		s.classes[adm.Priority].RejectedFull++
+		return nil, false, ErrQueueFull
+	}
 	s.seq++
 	j := &Job{
-		id:      fmt.Sprintf("j%08d", s.seq),
-		key:     key,
-		ghash:   ghash,
-		g:       g,
-		opt:     opt,
-		status:  StatusQueued,
-		phase:   "queued",
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:         fmt.Sprintf("j%08d", s.seq),
+		key:        key,
+		ghash:      ghash,
+		g:          g,
+		opt:        opt,
+		priority:   adm.Priority,
+		deadline:   adm.Deadline,
+		autocancel: adm.Cancelable,
+		status:     StatusQueued,
+		phase:      "queued",
+		created:    now,
+		done:       make(chan struct{}),
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.stats.RejectedFull++
-		return nil, false, ErrQueueFull
+	if adm.Cancelable {
+		j.watchers = 1
 	}
 	s.jobs[j.id] = j
 	s.inflight[key] = j
+	s.enqueueLocked(j)
 	return j, false, nil
 }
 
+// attachLocked records a coalescing submitter's cancellation interest on an
+// in-flight job: cancelable waiters are counted, and one non-cancelable
+// submission pins the job against autocancel for good. Caller holds s.mu.
+func (s *Service) attachLocked(j *Job, adm Admit) {
+	if j.status != StatusQueued {
+		return
+	}
+	if adm.Cancelable {
+		j.watchers++
+	} else {
+		j.autocancel = false
+	}
+}
+
+// worker pops jobs in priority order, failing expired ones without solving,
+// until drain empties the queue.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	s.mu.Lock()
+	for {
+		j := s.popLocked()
+		if j == nil {
+			if s.draining {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			continue
+		}
+		if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+			s.classes[j.priority].Expired++
+			s.failDequeuedLocked(j, ErrDeadlineExceeded)
+			continue
+		}
+		// Mark running while still holding the pop lock: Abandon and the
+		// shed policy treat StatusQueued as "safe to drop", so a popped job
+		// must never look queued once the lock is released.
+		j.status = StatusRunning
+		j.started = time.Now()
+		s.mu.Unlock()
 		s.runJob(j)
+		s.mu.Lock()
 	}
 }
 
@@ -340,33 +456,42 @@ func (s *Service) runJob(j *Job) {
 		hook(j)
 	}
 	s.mu.Lock()
-	j.status = StatusRunning
-	j.started = time.Now()
 	g, opt := j.g, j.opt
 	s.mu.Unlock()
 
-	net := s.pool.Get(j.ghash, g)
-	net.ResetAccounting()
 	opt.Progress = func(stage string) {
+		// Panic and delay modes apply here (a returned error has nowhere to
+		// go mid-pipeline); a panic unwinds into solveOnce's recovery.
+		_ = faults.Point("solve.stage")
 		s.mu.Lock()
 		j.phase = stage
 		s.mu.Unlock()
 	}
-	res, err := ecss.SolveOn(net, opt)
-	if err == nil {
-		// Integrity gate: never cache (or serve) an unverified result.
-		err = ecss.Verify(net.G, res)
-	}
+
 	var raw []byte
-	if err == nil {
-		raw, err = json.Marshal(wireResult(net.G, res))
+	var err error
+	backoff := retryBackoffBase
+	for attempt := 0; ; attempt++ {
+		raw, err = s.solveOnce(j, g, opt)
+		if err == nil || attempt >= maxSolveRetries || !retryable(err) {
+			break
+		}
+		s.mu.Lock()
+		s.stats.Retries++
+		j.phase = "retry-backoff"
+		s.mu.Unlock()
+		time.Sleep(backoff)
+		backoff *= 2
+		if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+			err = fmt.Errorf("%w (after retryable failure: %v)", ErrDeadlineExceeded, err)
+			break
+		}
 	}
-	s.pool.Put(j.ghash, net)
 	if err == nil && s.store != nil {
 		// Write-through outside s.mu: the store's writer queue can apply
 		// backpressure, which must stall only this solver worker, not
 		// admission. raw is immutable from here on.
-		_ = s.store.Put([32]byte(j.key), j.ghash, optionsBlob(opt), raw)
+		_ = s.store.Put([32]byte(j.key), j.ghash, optionsBlob(j.opt), raw)
 	}
 
 	s.mu.Lock()
@@ -375,6 +500,12 @@ func (s *Service) runJob(j *Job) {
 	j.phase = ""
 	delete(s.inflight, j.key)
 	s.stats.Solves++
+	dur := float64(j.finished.Sub(j.started))
+	if s.ewmaSolveNs == 0 {
+		s.ewmaSolveNs = dur
+	} else {
+		s.ewmaSolveNs = 0.8*s.ewmaSolveNs + 0.2*dur
+	}
 	if err != nil {
 		j.status, j.err = StatusFailed, err
 		s.stats.Failed++
@@ -388,6 +519,67 @@ func (s *Service) runJob(j *Job) {
 	}
 	s.mu.Unlock()
 	close(j.done)
+}
+
+// solveOnce runs one pipeline attempt on a pooled network, converting
+// solver panics into errors. A network that panicked mid-solve is in an
+// unknown state and is closed, never returned to the pool.
+func (s *Service) solveOnce(j *Job, g *graph.Graph, opt ecss.Options) (raw []byte, err error) {
+	// The recovery is installed before the first injection point so that
+	// every panic-mode fault on this path — including solve.pre itself —
+	// degrades to a per-job error, never a dead worker.
+	var net *congest.Network
+	panicked := true
+	defer func() {
+		if panicked {
+			r := recover()
+			s.mu.Lock()
+			s.stats.PanicsRecovered++
+			s.mu.Unlock()
+			err = &panicError{val: r}
+			if net != nil {
+				net.Close()
+			}
+			return
+		}
+		if net != nil {
+			s.pool.Put(j.ghash, net)
+		}
+	}()
+	if ferr := faults.Point("solve.pre"); ferr != nil {
+		panicked = false
+		return nil, ferr
+	}
+	net = s.pool.Get(j.ghash, g)
+	net.ResetAccounting()
+	res, serr := ecss.SolveOn(net, opt)
+	if serr == nil {
+		// Integrity gate: never cache (or serve) an unverified result.
+		serr = ecss.Verify(net.G, res)
+	}
+	if serr == nil {
+		serr = faults.Point("solve.postverify")
+	}
+	if serr == nil {
+		raw, serr = json.Marshal(wireResult(net.G, res))
+	}
+	panicked = false
+	return raw, serr
+}
+
+// panicError wraps a recovered solver panic as a per-job error.
+type panicError struct{ val any }
+
+func (p *panicError) Error() string { return fmt.Sprintf("solver panic recovered: %v", p.val) }
+
+// retryable reports whether a solve attempt's failure is worth one retry:
+// recovered panics and injected faults are transient by construction;
+// deterministic pipeline errors (infeasible input, verification failure)
+// would fail identically again.
+func retryable(err error) bool {
+	var pe *panicError
+	var fe *faults.Fault
+	return errors.As(err, &pe) || errors.As(err, &fe)
 }
 
 // retire keeps a terminal, uncached job addressable for a while, dropping
@@ -404,10 +596,16 @@ func (s *Service) retire(j *Job) {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
-	st.QueueDepth = len(s.queue)
+	st.QueueDepth = s.qlen
 	st.Inflight = len(s.inflight)
 	st.CacheEntries = s.cache.len()
 	st.Pool = s.pool.Stats()
+	st.Classes = make(map[string]ClassStats, numPriorities)
+	for c := Priority(0); c < numPriorities; c++ {
+		cs := s.classes[c]
+		cs.Queued = len(s.queues[c])
+		st.Classes[c.String()] = cs
+	}
 	s.mu.Unlock()
 	// The store mutex is held across disk reads (Get/Recent), so it is
 	// taken only after the admission mutex is released: a stats poll must
@@ -416,6 +614,7 @@ func (s *Service) Stats() Stats {
 		sst := s.store.Stats()
 		st.Store = &sst
 	}
+	st.Faults = faults.Snapshot()
 	return st
 }
 
@@ -432,10 +631,11 @@ func (s *Service) Drain(ctx context.Context) error {
 		return errors.New("service: already draining")
 	}
 	s.draining = true
+	// Wake every idle worker: they drain the remaining queue, then exit on
+	// the draining flag. Submit checks the flag under the same mutex, so no
+	// new job can slip in after it.
+	s.cond.Broadcast()
 	s.mu.Unlock()
-	// Submit holds the mutex across its draining check and queue send, so
-	// after the flag flip no new job can reach the channel: safe to close.
-	close(s.queue)
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"twoecss/internal/ecss"
+	"twoecss/internal/faults"
 	"twoecss/internal/store"
 )
 
@@ -160,6 +161,101 @@ func TestRestartQuarantinesCorruptEntry(t *testing.T) {
 	}
 	if st := s2.Stats(); st.Solves != 1 {
 		t.Fatalf("re-solved %d instances, want exactly the quarantined one (stats %+v)", st.Solves, st)
+	}
+}
+
+// TestCorruptionUnderLiveTrafficHealed is the steady-state self-healing
+// test: an object damaged while the service keeps serving (not between
+// restarts) must be quarantined on first touch, transparently re-solved with
+// byte-identical results, and — after a reverifier pass clears the
+// spuriously-quarantined intact copy — served from the store again.
+func TestCorruptionUnderLiveTrafficHealed(t *testing.T) {
+	dir := t.TempDir()
+	// No memory cache: every submit consults the store, so disk damage is
+	// visible to live traffic immediately.
+	s := New(Config{Workers: 2, CacheEntries: -1, Store: openStore(t, dir, 0)})
+	defer drain(t, s)
+	g := testGraph(t, 1)
+
+	j1, hit, err := s.Submit(g, ecss.DefaultOptions())
+	if err != nil || hit {
+		t.Fatalf("cold submit: hit=%v err=%v", hit, err)
+	}
+	waitJob(t, j1)
+	want := s.snapshot(j1).Result
+	if len(want) == 0 {
+		t.Fatal("cold solve produced no result")
+	}
+	if err := s.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage the object in place, mid-flight.
+	key := [32]byte(j1.key)
+	path := filepath.Join(dir, "objects", fmt.Sprintf("%x.res", key[:]))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x80
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Next request: the corrupt read quarantines, misses, and re-solves to
+	// the same bytes — the client never sees the damage.
+	j2, hit, err := s.Submit(g, ecss.DefaultOptions())
+	if err != nil || hit {
+		t.Fatalf("post-corruption submit: hit=%v err=%v", hit, err)
+	}
+	waitJob(t, j2)
+	if got := s.snapshot(j2).Result; !bytes.Equal(got, want) {
+		t.Fatal("re-solved result differs from the original bytes")
+	}
+	st := s.Stats()
+	if st.Solves != 2 || st.StoreHits != 0 {
+		t.Fatalf("stats %+v, want 2 solves and no store hit yet", st)
+	}
+	if st.Store.Corruptions != 1 || st.Store.Quarantined != 1 {
+		t.Fatalf("store stats %+v, want the damage quarantined", st.Store)
+	}
+	if err := s.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A transient read fault now quarantines the freshly rewritten, intact
+	// object (overwriting the corrupt quarantine copy of the same key)...
+	armFaults(t, "store.read:error,count=1")
+	j3, hit, err := s.Submit(g, ecss.DefaultOptions())
+	if err != nil || hit {
+		t.Fatalf("faulted submit: hit=%v err=%v", hit, err)
+	}
+	waitJob(t, j3)
+	if got := s.snapshot(j3).Result; !bytes.Equal(got, want) {
+		t.Fatal("third solve differs from the original bytes")
+	}
+	faults.Disarm()
+	if err := s.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...which the reverifier proves clean and clears.
+	if restored, deleted := s.store.Reverify(); restored != 1 || deleted != 0 {
+		t.Fatalf("Reverify = (%d, %d), want (1, 0)", restored, deleted)
+	}
+
+	// With the store whole again, the next request is a disk hit.
+	j4, hit, err := s.Submit(g, ecss.DefaultOptions())
+	if err != nil || !hit {
+		t.Fatalf("healed submit: hit=%v err=%v", hit, err)
+	}
+	waitJob(t, j4)
+	if got := s.snapshot(j4).Result; !bytes.Equal(got, want) {
+		t.Fatal("store-served result differs from the original bytes")
+	}
+	st = s.Stats()
+	if st.StoreHits != 1 || st.Solves != 3 || st.Store.Restored != 1 {
+		t.Fatalf("final stats %+v / store %+v, want a store hit after healing", st, st.Store)
 	}
 }
 

@@ -1,0 +1,222 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"twoecss/internal/faults"
+)
+
+func armFaults(t *testing.T, spec string) {
+	t.Helper()
+	if err := faults.Arm(spec); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faults.Disarm)
+}
+
+func quarantineCount(t *testing.T, dir string) int {
+	t.Helper()
+	names, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(names)
+}
+
+// TestReverifyRestoresSpuriousQuarantine is the self-healing core: a
+// transient read failure (injected) quarantines an intact file; a Reverify
+// pass must prove it clean, restore it to the live set, and serve it again.
+func TestReverifyRestoresSpuriousQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	defer s.Close()
+	putN(t, s, 2)
+
+	armFaults(t, "store.read:error,count=1")
+	k, _, _ := mkKey(0)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("read with injected fault reported a hit")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Entries != 1 || st.Corruptions != 1 {
+		t.Fatalf("post-fault stats %+v, want 1 quarantined / 1 survivor", st)
+	}
+	if quarantineCount(t, dir) != 1 {
+		t.Fatal("quarantine dir does not hold the file")
+	}
+
+	restored, deleted := s.Reverify()
+	if restored != 1 || deleted != 0 {
+		t.Fatalf("Reverify = (%d, %d), want (1, 0)", restored, deleted)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, payloadFor(0)) {
+		t.Fatalf("restored entry not served (ok=%v)", ok)
+	}
+	st = s.Stats()
+	if st.Restored != 1 || st.Entries != 2 || quarantineCount(t, dir) != 0 {
+		t.Fatalf("post-restore stats %+v, quarantine %d", st, quarantineCount(t, dir))
+	}
+
+	// The restore survives a restart (index record or orphan adoption).
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, dir, 0)
+	defer re.Close()
+	if got, ok := re.Get(k); !ok || !bytes.Equal(got, payloadFor(0)) {
+		t.Fatalf("restored entry lost across restart (ok=%v)", ok)
+	}
+}
+
+// TestReverifyDeletesCorruptAfterTwoStrikes: genuinely damaged bytes get
+// two chances, then the quarantined file is removed for good.
+func TestReverifyDeletesCorruptAfterTwoStrikes(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	defer s.Close()
+	putN(t, s, 1)
+
+	k, _, _ := mkKey(0)
+	path := filepath.Join(dir, "objects", fmt.Sprintf("%x.res", k[:]))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if quarantineCount(t, dir) != 1 {
+		t.Fatal("corrupt file not quarantined")
+	}
+
+	if restored, deleted := s.Reverify(); restored != 0 || deleted != 0 {
+		t.Fatalf("first pass = (%d, %d), want strike only", restored, deleted)
+	}
+	if quarantineCount(t, dir) != 1 {
+		t.Fatal("file deleted on first strike")
+	}
+	if restored, deleted := s.Reverify(); restored != 0 || deleted != 1 {
+		t.Fatalf("second pass = (%d, %d), want (0, 1)", restored, deleted)
+	}
+	st := s.Stats()
+	if st.ReverifyDeleted != 1 || quarantineCount(t, dir) != 0 {
+		t.Fatalf("stats %+v, quarantine %d", st, quarantineCount(t, dir))
+	}
+}
+
+// TestReverifyDiscardsRedundantCopy: a key re-stored while its old file sat
+// in quarantine keeps the live object; the verified quarantine copy is
+// counted restored and removed rather than clobbering the newer write.
+func TestReverifyDiscardsRedundantCopy(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	defer s.Close()
+	putN(t, s, 1)
+
+	armFaults(t, "store.read:error,count=1")
+	k, gh, op := mkKey(0)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("faulted read hit")
+	}
+	faults.Disarm()
+	// Re-store the key (the service's re-solve write-through does this).
+	if err := s.Put(k, gh, op, payloadFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, deleted := s.Reverify()
+	if restored != 1 || deleted != 0 {
+		t.Fatalf("Reverify = (%d, %d), want (1, 0)", restored, deleted)
+	}
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("stats %+v, want exactly one live entry", st)
+	}
+	if quarantineCount(t, dir) != 0 {
+		t.Fatal("redundant quarantine copy not removed")
+	}
+	if got, ok := s.Get(k); !ok || !bytes.Equal(got, payloadFor(0)) {
+		t.Fatal("live entry damaged by reverify")
+	}
+}
+
+// TestQuarantineFailureCounted: when the quarantine rename itself fails
+// with the damaged file still present, the failure must be counted, not
+// silently ignored.
+func TestQuarantineFailureCounted(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	defer s.Close()
+	putN(t, s, 1)
+
+	// Replace the quarantine directory with a plain file: the rename into
+	// it now fails with ENOTDIR, which is not a missing-source error.
+	qdir := filepath.Join(dir, "quarantine")
+	if err := os.Remove(qdir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(qdir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	k, _, _ := mkKey(0)
+	path := filepath.Join(dir, "objects", fmt.Sprintf("%x.res", k[:]))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt entry served")
+	}
+	st := s.Stats()
+	if st.QuarantineFails != 1 || st.Quarantined != 0 || st.Corruptions != 1 {
+		t.Fatalf("stats %+v, want the failed quarantine counted", st)
+	}
+}
+
+// TestBackgroundReverifierRestores: the OpenWith-armed loop restores a
+// spuriously quarantined entry without anyone calling Reverify.
+func TestBackgroundReverifierRestores(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{ReverifyEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	putN(t, s, 1)
+
+	armFaults(t, "store.read:error,count=1")
+	k, _, _ := mkKey(0)
+	s.Get(k)
+	faults.Disarm()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := s.Stats(); st.Restored >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background reverifier never restored (stats %+v)", s.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got, ok := s.Get(k); !ok || !bytes.Equal(got, payloadFor(0)) {
+		t.Fatal("restored entry not served")
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"twoecss/internal/faults"
 )
 
 // Stats counts store traffic. It is embedded in the service's /v1/stats
@@ -38,6 +40,19 @@ type Stats struct {
 	// permissions): the entry is simply absent after a restart. Distinct
 	// from Corruptions, which reports damaged data, not failed writes.
 	WriteErrors int64 `json:"write_errors"`
+	// Quarantined counts entry files actually moved into quarantine/;
+	// QuarantineFails counts quarantine renames that failed with the file
+	// still present (permissions, crossed mounts) — the damaged file then
+	// stays in objects/ for the next restart to re-examine. A rename that
+	// finds no file (stale index line) is neither.
+	Quarantined     int64 `json:"quarantined"`
+	QuarantineFails int64 `json:"quarantine_fails"`
+	// Restored counts quarantined entries the background reverifier proved
+	// intact end-to-end (returned to objects/, or discarded as a redundant
+	// copy of an already-relived key); ReverifyDeleted counts quarantined
+	// files deleted after failing verification reverifyStrikes times.
+	Restored        int64 `json:"restored"`
+	ReverifyDeleted int64 `json:"reverify_deleted"`
 	// Entries and Bytes describe the live on-disk set.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
@@ -81,11 +96,31 @@ type Store struct {
 	stats     Stats
 	indexF    *os.File
 	lastStamp int64 // high-water access-time stamp (see stampLocked)
+	// strikes counts consecutive failed reverifications per quarantined
+	// key; at reverifyStrikes the file is deleted for good.
+	strikes map[Key]int
 
 	closeMu sync.RWMutex
 	closed  bool
 	writeCh chan writeOp
 	done    chan struct{}
+	// revStop/revDone bracket the background reverifier goroutine's
+	// lifetime; nil when ReverifyEvery is 0.
+	revStop chan struct{}
+	revDone chan struct{}
+}
+
+// Options configures OpenWith beyond the directory.
+type Options struct {
+	// MaxBytes bounds the on-disk entry bytes via LRU eviction (<=0:
+	// unbounded).
+	MaxBytes int64
+	// ReverifyEvery, when positive, starts a background goroutine running a
+	// Reverify pass over the quarantine directory at this interval, so
+	// entries quarantined by transient failures (injected read faults, EIO)
+	// are restored while the process lives instead of lingering until an
+	// operator looks.
+	ReverifyEvery time.Duration
 }
 
 // Open creates or reopens the store rooted at dir, bounded to maxBytes of
@@ -97,6 +132,11 @@ type Store struct {
 // down to the byte budget. Corruption is counted, never fatal: a damaged
 // store opens with whatever survives.
 func Open(dir string, maxBytes int64) (*Store, error) {
+	return OpenWith(dir, Options{MaxBytes: maxBytes})
+}
+
+// OpenWith is Open with the full option set.
+func OpenWith(dir string, o Options) (*Store, error) {
 	for _, d := range []string{dir, filepath.Join(dir, "objects"), filepath.Join(dir, "quarantine")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
@@ -111,9 +151,10 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	}
 	s := &Store{
 		dir:      dir,
-		maxBytes: maxBytes,
+		maxBytes: o.MaxBytes,
 		entries:  make(map[Key]*entry),
 		ll:       list.New(),
+		strikes:  make(map[Key]int),
 		writeCh:  make(chan writeOp, 256),
 		done:     make(chan struct{}),
 	}
@@ -134,6 +175,11 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	}
 	s.indexF = f
 	go s.writer()
+	if o.ReverifyEvery > 0 {
+		s.revStop = make(chan struct{})
+		s.revDone = make(chan struct{})
+		go s.reverifyLoop(o.ReverifyEvery)
+	}
 	return s, nil
 }
 
@@ -236,7 +282,7 @@ func (s *Store) scan() error {
 		size, err := verifyEntryFile(s.objPath(k), k)
 		if err != nil {
 			s.stats.Corruptions++
-			s.quarantine(k)
+			s.quarantineLocked(k)
 			continue
 		}
 		live = append(live, liveEnt{k: k, size: size, atime: r.atime})
@@ -269,10 +315,20 @@ func verifyEntryFile(path string, key Key) (size int64, err error) {
 	return verifyBytes(b, key)
 }
 
-// quarantine moves the entry file for k aside (best-effort; a missing file
-// — the stale-index-line case — simply has nothing to move).
-func (s *Store) quarantine(k Key) {
-	_ = os.Rename(s.objPath(k), s.quarantinePath(k))
+// quarantineLocked moves the entry file for k aside for the reverifier to
+// re-examine. A missing source file — the stale-index-line case — has
+// nothing to move and is not a failure; any other rename error is counted
+// in QuarantineFails (the damaged file then stays in objects/, where the
+// next restart's scan re-examines it) instead of being silently dropped.
+// Caller holds s.mu (or is the single-threaded Open scan).
+func (s *Store) quarantineLocked(k Key) {
+	switch err := os.Rename(s.objPath(k), s.quarantinePath(k)); {
+	case err == nil:
+		s.stats.Quarantined++
+	case os.IsNotExist(err):
+	default:
+		s.stats.QuarantineFails++
+	}
 }
 
 // stampLocked returns a strictly increasing access-time stamp: wall-clock
@@ -394,7 +450,15 @@ func (s *Store) Get(key Key) (payload []byte, ok bool) {
 // under the lock so eviction cannot unlink a file mid-read (entry payloads
 // are small canonical JSON).
 func (s *Store) readVerifyLocked(e *entry) ([]byte, error) {
-	b, err := os.ReadFile(s.objPath(e.key))
+	var b []byte
+	// store.read simulates a transient read failure (EIO): the entry is
+	// quarantined exactly as a real one would be, and — since the file
+	// itself is intact — the reverifier later proves it clean and restores
+	// it. That loop is what the chaos smoke gates on.
+	err := faults.Point("store.read")
+	if err == nil {
+		b, err = os.ReadFile(s.objPath(e.key))
+	}
 	if err == nil {
 		if _, verr := verifyBytes(b, e.key); verr != nil {
 			err = verr
@@ -403,7 +467,7 @@ func (s *Store) readVerifyLocked(e *entry) ([]byte, error) {
 	if err != nil {
 		s.stats.Corruptions++
 		s.dropLocked(e)
-		s.quarantine(e.key)
+		s.quarantineLocked(e.key)
 		return nil, err
 	}
 	return b, nil
@@ -488,6 +552,13 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.closeMu.Unlock()
+	// Stop the reverifier before the writer: a mid-pass restore enqueues an
+	// index record (dropped once closed is set, but the goroutine should be
+	// gone before the index file is).
+	if s.revStop != nil {
+		close(s.revStop)
+		<-s.revDone
+	}
 	// All Put/Flush senders finished before closed was set (they hold the
 	// read lock across their send), so stop is the final op.
 	s.writeCh <- writeOp{stop: true}
@@ -570,8 +641,12 @@ func (s *Store) applyPut(op writeOp) {
 	// eviction records it caused. Victim files are unlinked after the index
 	// is durable: a crash in between resurrects an orphan (re-adopted and
 	// re-evicted on reopen) rather than leaving a dangling index line.
-	fmt.Fprint(s.indexF, lines.String())
-	_ = s.indexF.Sync()
+	// store.index simulates exactly that crash window — a put whose index
+	// record was lost — which orphan adoption repairs on the next Open.
+	if faults.Point("store.index") == nil {
+		fmt.Fprint(s.indexF, lines.String())
+		_ = s.indexF.Sync()
+	}
 	for _, k := range victims {
 		os.Remove(s.objPath(k))
 	}
@@ -591,10 +666,19 @@ func (s *Store) writeObject(op writeOp) (int64, error) {
 		_, err = tmp.Write(op.payload)
 	}
 	if err == nil {
+		// store.fsync models a durability failure (ENOSPC at sync, dying
+		// disk): the put degrades to a WriteError and the entry is simply
+		// absent after a restart.
+		err = faults.Point("store.fsync")
+	}
+	if err == nil {
 		err = tmp.Sync()
 	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
+	}
+	if err == nil {
+		err = faults.Point("store.rename")
 	}
 	if err == nil {
 		err = os.Rename(tmp.Name(), s.objPath(op.key))
@@ -670,6 +754,111 @@ func (s *Store) Stats() Stats {
 	st.Entries = len(s.entries)
 	st.Bytes = s.bytes
 	return st
+}
+
+// reverifyStrikes is how many consecutive failed re-verifications doom a
+// quarantined file: "fail twice and you are gone" keeps genuinely corrupt
+// bytes from haunting the quarantine directory forever, while a single
+// fluke (a read racing an unlink, an injected fault during the pass) gets a
+// second look.
+const reverifyStrikes = 2
+
+// Reverify runs one pass over the quarantine directory, re-checking every
+// entry end-to-end against its header checksum — the same verification a
+// Get performs. A file that proves intact is restored: renamed back into
+// objects/ and re-indexed as live (or, when its key was re-solved and is
+// live again meanwhile, discarded as a redundant verified copy). A file
+// that fails collects a strike and is deleted at reverifyStrikes. The
+// background loop armed by Options.ReverifyEvery calls this periodically;
+// tests and operators can call it directly. Returns the restored and
+// deleted counts of this pass.
+func (s *Store) Reverify() (restored, deleted int) {
+	names, err := os.ReadDir(filepath.Join(s.dir, "quarantine"))
+	if err != nil {
+		return 0, 0
+	}
+	for _, de := range names {
+		name := de.Name()
+		if !strings.HasSuffix(name, ".res") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, ".res"))
+		if err != nil || len(raw) != 32 {
+			continue
+		}
+		var k Key
+		copy(k[:], raw)
+		qpath := s.quarantinePath(k)
+		// Verify outside s.mu (file reads must not stall Gets); the entry
+		// table mutation below re-checks liveness under the lock.
+		size, verr := verifyEntryFile(qpath, k)
+		if os.IsNotExist(verr) {
+			continue // raced with a concurrent restore/delete
+		}
+		s.mu.Lock()
+		if verr != nil {
+			s.strikes[k]++
+			if s.strikes[k] >= reverifyStrikes {
+				delete(s.strikes, k)
+				if os.Remove(qpath) == nil {
+					s.stats.ReverifyDeleted++
+					deleted++
+				}
+			}
+			s.mu.Unlock()
+			continue
+		}
+		delete(s.strikes, k)
+		if _, live := s.entries[k]; live {
+			// The key was re-solved (or re-stored) while quarantined; the
+			// live object wins and the verified copy is redundant.
+			os.Remove(qpath)
+			s.stats.Restored++
+			restored++
+			s.mu.Unlock()
+			continue
+		}
+		if os.Rename(qpath, s.objPath(k)) != nil {
+			s.mu.Unlock()
+			continue
+		}
+		e := &entry{key: k, size: size, atime: s.stampLocked()}
+		e.el = s.ll.PushFront(e)
+		s.entries[k] = e
+		s.bytes += size
+		s.stats.Restored++
+		restored++
+		atime := e.atime
+		s.mu.Unlock()
+		// Best-effort index record (appends happen only on the writer
+		// goroutine, so route through it like Get's touch records); a lost
+		// line only means orphan adoption re-indexes the file on restart.
+		// Byte-budget overshoot from restores is reconciled by the next
+		// put's eviction pass rather than here.
+		s.closeMu.RLock()
+		if !s.closed {
+			select {
+			case s.writeCh <- writeOp{key: k, atime: atime}:
+			default:
+			}
+		}
+		s.closeMu.RUnlock()
+	}
+	return restored, deleted
+}
+
+func (s *Store) reverifyLoop(every time.Duration) {
+	defer close(s.revDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.revStop:
+			return
+		case <-t.C:
+			s.Reverify()
+		}
+	}
 }
 
 // syncDir fsyncs a directory so a preceding rename is durable. Filesystems
