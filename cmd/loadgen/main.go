@@ -24,14 +24,22 @@
 // -min-acked and -min-restored gate the chaos run itself (the latter polls
 // the server until the store reports that many reverifier restores).
 //
+// Multi-target mode (-targets) spreads the workload round-robin over a
+// comma-separated list of servers — ecssd shards directly, or one or more
+// ecssrouter fronts — and reports outcomes per target, so a shard loss in a
+// kill-one chaos run shows up as that target's counted connection errors
+// (and nothing else): never a silent failure. -min-acked-per-target gates
+// that every target actually acknowledged work.
+//
 // Usage:
 //
-//	loadgen [-addr http://127.0.0.1:8080] [-duration 10s] [-concurrency 8]
+//	loadgen [-addr http://127.0.0.1:8080] [-targets URL1,URL2,...]
+//	        [-duration 10s] [-concurrency 8]
 //	        [-n 96] [-families er,grid,ring,random,ba] [-seeds 4]
 //	        [-eps 0.25] [-min-cache-hits -1] [-min-store-hits -1]
 //	        [-max-solves -1]
 //	        [-chaos] [-acked-out FILE] [-verify-acked FILE]
-//	        [-min-acked -1] [-min-restored -1]
+//	        [-min-acked -1] [-min-restored -1] [-min-acked-per-target -1]
 package main
 
 import (
@@ -49,6 +57,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"twoecss/internal/graph"
@@ -75,6 +84,7 @@ type sample struct {
 
 func run() error {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "ecssd base URL")
+	targetsFlag := flag.String("targets", "", "comma-separated server base URLs, round-robin per request (overrides -addr)")
 	duration := flag.Duration("duration", 10*time.Second, "load duration")
 	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
 	n := flag.Int("n", 96, "vertices per instance")
@@ -89,30 +99,51 @@ func run() error {
 	verifyAcked := flag.String("verify-acked", "", "replay the acked file against the server and fail on any lost or altered result")
 	minAcked := flag.Int64("min-acked", -1, "chaos mode: fail unless at least this many results were acknowledged (<0: no check)")
 	minExpired := flag.Int64("min-expired", -1, "chaos mode: fail unless at least this many requests expired with an explicit deadline error (<0: no check)")
-	minRestored := flag.Int64("min-restored", -1, "fail unless the server store reports at least this many reverifier restores (<0: no check)")
+	minRestored := flag.Int64("min-restored", -1, "fail unless the server stores report at least this many reverifier restores in total (<0: no check)")
+	minAckedPerTarget := flag.Int64("min-acked-per-target", -1, "chaos mode: fail unless every target acknowledged at least this many results (<0: no check)")
 	flag.Parse()
 
+	targets := []string{strings.TrimRight(*addr, "/")}
+	if *targetsFlag != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*targetsFlag, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, strings.TrimRight(t, "/"))
+			}
+		}
+		if len(targets) == 0 {
+			return fmt.Errorf("-targets %q names no server", *targetsFlag)
+		}
+	}
 	items, err := buildWorkload(*families, *n, *seeds, *eps)
 	if err != nil {
 		return err
 	}
 	client := &http.Client{Timeout: 5 * time.Minute}
-	if err := waitHealthy(client, *addr, 15*time.Second); err != nil {
-		return err
+	for _, t := range targets {
+		if err := waitHealthy(client, t, 15*time.Second); err != nil {
+			return err
+		}
 	}
 	if *verifyAcked != "" {
-		return runVerifyAcked(client, *addr, items, *verifyAcked)
+		// Replay through the first target: via a router that is the whole
+		// fleet; against shards directly, any single live one must serve
+		// (or deterministically re-produce) every acknowledged byte.
+		return runVerifyAcked(client, targets[0], items, *verifyAcked)
 	}
 	if *chaos {
-		return runChaos(client, *addr, items, *duration, *concurrency, *ackedOut, *minAcked, *minExpired, *minRestored)
+		return runChaos(client, targets, items, *duration, *concurrency, *ackedOut, *minAcked, *minExpired, *minRestored, *minAckedPerTarget)
 	}
 
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
+		rr       atomic.Int64 // round-robin target cursor
 		samples  []sample
 		failures int
 		firstErr error
+		perOK    = make([]int64, len(targets))
+		perFail  = make([]int64, len(targets))
 	)
 	start := time.Now()
 	deadline := start.Add(*duration)
@@ -122,25 +153,32 @@ func run() error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(1000 + w)))
 			var local []sample
-			localFail := 0
+			localOK := make([]int64, len(targets))
+			localFail := make([]int64, len(targets))
 			var localErr error
 			for time.Now().Before(deadline) {
 				it := items[rng.Intn(len(items))]
+				ti := int(rr.Add(1)-1) % len(targets)
 				t0 := time.Now()
-				cached, err := postSolve(client, *addr, it.body)
+				cached, err := postSolve(client, targets[ti], it.body)
 				ns := time.Since(t0).Nanoseconds()
 				if err != nil {
-					localFail++
+					localFail[ti]++
 					if localErr == nil {
-						localErr = fmt.Errorf("%s: %w", it.name, err)
+						localErr = fmt.Errorf("%s via %s: %w", it.name, targets[ti], err)
 					}
 					continue
 				}
+				localOK[ti]++
 				local = append(local, sample{ns: ns, cached: cached})
 			}
 			mu.Lock()
 			samples = append(samples, local...)
-			failures += localFail
+			for i := range targets {
+				perOK[i] += localOK[i]
+				perFail[i] += localFail[i]
+				failures += int(localFail[i])
+			}
 			if firstErr == nil {
 				firstErr = localErr
 			}
@@ -160,26 +198,40 @@ func run() error {
 	if firstErr != nil {
 		fmt.Printf("first error:   %v\n", firstErr)
 	}
+	if len(targets) > 1 {
+		for i, t := range targets {
+			fmt.Printf("target %-28s %d ok, %d failed\n", t+":", perOK[i], perFail[i])
+		}
+	}
 
-	st, err := fetchStats(client, *addr)
-	if err != nil {
-		return fmt.Errorf("fetch server stats: %w", err)
+	// Gate counters sum over targets: against N shards they partition the
+	// traffic; against one router they are its fleet-wide view.
+	var total service.Stats
+	for _, t := range targets {
+		st, err := fetchStats(client, t)
+		if err != nil {
+			return fmt.Errorf("fetch server stats from %s: %w", t, err)
+		}
+		fmt.Printf("server stats:  %s: %d submitted, %d solves, %d cache hits, %d store hits, %d coalesced, %d failed, pool %d/%d reuse/create\n",
+			t, st.Submitted, st.Solves, st.CacheHits, st.StoreHits, st.Coalesced, st.Failed, st.Pool.Reuses, st.Pool.Creates)
+		if st.Store != nil {
+			fmt.Printf("server store:  %s: %d entries / %d bytes, %d hits, %d misses, %d puts, %d evictions, %d corruptions\n",
+				t, st.Store.Entries, st.Store.Bytes, st.Store.Hits, st.Store.Misses,
+				st.Store.Puts, st.Store.Evictions, st.Store.Corruptions)
+		}
+		total.Submitted += st.Submitted
+		total.Solves += st.Solves
+		total.CacheHits += st.CacheHits
+		total.StoreHits += st.StoreHits
 	}
-	fmt.Printf("server stats:  %d submitted, %d solves, %d cache hits, %d store hits, %d coalesced, %d failed, pool %d/%d reuse/create\n",
-		st.Submitted, st.Solves, st.CacheHits, st.StoreHits, st.Coalesced, st.Failed, st.Pool.Reuses, st.Pool.Creates)
-	if st.Store != nil {
-		fmt.Printf("server store:  %d entries / %d bytes, %d hits, %d misses, %d puts, %d evictions, %d corruptions\n",
-			st.Store.Entries, st.Store.Bytes, st.Store.Hits, st.Store.Misses,
-			st.Store.Puts, st.Store.Evictions, st.Store.Corruptions)
+	if *minCacheHits >= 0 && total.CacheHits < *minCacheHits {
+		return fmt.Errorf("servers report %d cache hits, need >= %d", total.CacheHits, *minCacheHits)
 	}
-	if *minCacheHits >= 0 && st.CacheHits < *minCacheHits {
-		return fmt.Errorf("server reports %d cache hits, need >= %d", st.CacheHits, *minCacheHits)
+	if *minStoreHits >= 0 && total.StoreHits < *minStoreHits {
+		return fmt.Errorf("servers report %d store hits, need >= %d", total.StoreHits, *minStoreHits)
 	}
-	if *minStoreHits >= 0 && st.StoreHits < *minStoreHits {
-		return fmt.Errorf("server reports %d store hits, need >= %d", st.StoreHits, *minStoreHits)
-	}
-	if *maxSolves >= 0 && st.Solves > *maxSolves {
-		return fmt.Errorf("server ran %d solves, allowed <= %d (cold-served traffic on a warm restart)", st.Solves, *maxSolves)
+	if *maxSolves >= 0 && total.Solves > *maxSolves {
+		return fmt.Errorf("servers ran %d solves, allowed <= %d (cold-served traffic on a warm restart)", total.Solves, *maxSolves)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d requests failed", failures)
@@ -279,17 +331,30 @@ type chaosTally struct {
 	silent      int64 // failures with no explicit error — the fatal class
 }
 
+// add accumulates another tally into t.
+func (t *chaosTally) add(o chaosTally) {
+	t.acked += o.acked
+	t.expired += o.expired
+	t.shed += o.shed
+	t.unavailable += o.unavailable
+	t.injected += o.injected
+	t.connErrs += o.connErrs
+	t.silent += o.silent
+}
+
 type ackedRec struct {
 	name string
 	sum  string // hex sha256 of the result bytes
 }
 
-func runChaos(client *http.Client, addr string, items []workItem, duration time.Duration, concurrency int, ackedOut string, minAcked, minExpired, minRestored int64) error {
+func runChaos(client *http.Client, targets []string, items []workItem, duration time.Duration, concurrency int, ackedOut string, minAcked, minExpired, minRestored, minAckedPerTarget int64) error {
 	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		tally chaosTally
-		acked []ackedRec
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		rr     atomic.Int64 // round-robin target cursor
+		tally  chaosTally
+		perTgt = make([]chaosTally, len(targets))
+		acked  []ackedRec
 	)
 	deadline := time.Now().Add(duration)
 	for w := 0; w < concurrency; w++ {
@@ -299,6 +364,7 @@ func runChaos(client *http.Client, addr string, items []workItem, duration time.
 			rng := rand.New(rand.NewSource(int64(7000 + w)))
 			for time.Now().Before(deadline) {
 				it := items[rng.Intn(len(items))]
+				ti := int(rr.Add(1)-1) % len(targets)
 				req := it.req
 				switch r := rng.Float64(); {
 				case r < 0.45:
@@ -320,15 +386,10 @@ func runChaos(client *http.Client, addr string, items []workItem, duration time.
 					// both the expiry and the success path stay exercised.
 					req.DeadlineMS = int64(1 + rng.Intn(500))
 				}
-				name, sum, out := classifyChaosResponse(client, addr, it.name, req)
+				name, sum, out := classifyChaosResponse(client, targets[ti], it.name, req)
 				mu.Lock()
-				tally.acked += out.acked
-				tally.expired += out.expired
-				tally.shed += out.shed
-				tally.unavailable += out.unavailable
-				tally.injected += out.injected
-				tally.connErrs += out.connErrs
-				tally.silent += out.silent
+				tally.add(out)
+				perTgt[ti].add(out)
 				// Cold-eps results are not replayable from the acked file
 				// (its verify pass re-posts the default-options body), so
 				// only template-faithful acks are recorded.
@@ -343,9 +404,23 @@ func runChaos(client *http.Client, addr string, items []workItem, duration time.
 
 	fmt.Printf("chaos outcomes: %d acked, %d expired, %d shed (429), %d unavailable (503), %d injected, %d conn errors, %d SILENT\n",
 		tally.acked, tally.expired, tally.shed, tally.unavailable, tally.injected, tally.connErrs, tally.silent)
-	if st, err := fetchStats(client, addr); err == nil {
-		fmt.Printf("server stats:  %d submitted, %d solves, %d retries, %d panics recovered, %d failed\n",
-			st.Submitted, st.Solves, st.Retries, st.PanicsRecovered, st.Failed)
+	if len(targets) > 1 {
+		// Per-target classification: a killed shard reads as that target's
+		// conn errors, attributably, while the others keep acking.
+		for i, tgt := range targets {
+			o := perTgt[i]
+			fmt.Printf("target %-28s %d acked, %d expired, %d shed, %d unavailable, %d injected, %d conn errors, %d SILENT\n",
+				tgt+":", o.acked, o.expired, o.shed, o.unavailable, o.injected, o.connErrs, o.silent)
+		}
+	}
+	for _, tgt := range targets {
+		st, err := fetchStats(client, tgt)
+		if err != nil {
+			fmt.Printf("server stats:  %s: unreachable (%v)\n", tgt, err)
+			continue
+		}
+		fmt.Printf("server stats:  %s: %d submitted, %d solves, %d retries, %d panics recovered, %d failed\n",
+			tgt, st.Submitted, st.Solves, st.Retries, st.PanicsRecovered, st.Failed)
 		for class, cs := range st.Classes {
 			fmt.Printf("  class %-12s %d submitted, %d queued, %d shed, %d expired, %d canceled, %d rejected-full\n",
 				class+":", cs.Submitted, cs.Queued, cs.Shed, cs.Expired, cs.Canceled, cs.RejectedFull)
@@ -376,23 +451,32 @@ func runChaos(client *http.Client, addr string, items []workItem, duration time.
 	if minAcked >= 0 && tally.acked < minAcked {
 		return fmt.Errorf("only %d results acknowledged, need >= %d", tally.acked, minAcked)
 	}
+	if minAckedPerTarget >= 0 {
+		for i, tgt := range targets {
+			if perTgt[i].acked < minAckedPerTarget {
+				return fmt.Errorf("target %s acknowledged only %d results, need >= %d", tgt, perTgt[i].acked, minAckedPerTarget)
+			}
+		}
+	}
 	if minExpired >= 0 && tally.expired < minExpired {
 		return fmt.Errorf("only %d requests expired with a deadline error, need >= %d", tally.expired, minExpired)
 	}
 	if minRestored >= 0 {
-		// The background reverifier runs on its own clock; give it a moment.
+		// The background reverifiers run on their own clocks; give them a
+		// moment. Restores sum across targets (each shard owns a store).
 		waitUntil := time.Now().Add(15 * time.Second)
 		for {
-			st, err := fetchStats(client, addr)
-			if err == nil && st.Store != nil && st.Store.Restored >= minRestored {
+			restored := int64(0)
+			for _, tgt := range targets {
+				if st, err := fetchStats(client, tgt); err == nil && st.Store != nil {
+					restored += st.Store.Restored
+				}
+			}
+			if restored >= minRestored {
 				break
 			}
 			if time.Now().After(waitUntil) {
-				restored := int64(-1)
-				if err == nil && st.Store != nil {
-					restored = st.Store.Restored
-				}
-				return fmt.Errorf("store reports %d reverifier restores, need >= %d", restored, minRestored)
+				return fmt.Errorf("stores report %d reverifier restores, need >= %d", restored, minRestored)
 			}
 			time.Sleep(200 * time.Millisecond)
 		}

@@ -27,7 +27,8 @@
 //
 // Sites currently wired (see DESIGN.md §9): solve.pre, solve.stage,
 // solve.postverify (internal/service worker), store.rename, store.fsync,
-// store.index, store.read (internal/store), http.solve (HTTP layer).
+// store.index, store.read (internal/store), http.solve (HTTP layer),
+// router.forward (internal/router solve path).
 package faults
 
 import (

@@ -44,6 +44,10 @@ const (
 	maxBodyBytes    = 1 << 28
 )
 
+// Graph materializes the wire form, enforcing the request-size guards.
+// The router uses it to compute the content hash a request routes on.
+func (w GraphWire) Graph() (*graph.Graph, error) { return w.toGraph() }
+
 func (w GraphWire) toGraph() (*graph.Graph, error) {
 	if w.N < 0 || w.N > maxWireVertices {
 		return nil, fmt.Errorf("n %d out of range [0,%d]", w.N, maxWireVertices)
@@ -218,16 +222,25 @@ func (s *Service) snapshotLocked(j *Job) JobResponse {
 //	POST /v1/solve     submit a solve ({graph, options, wait})
 //	GET  /v1/jobs/{id} job status and result
 //	GET  /v1/stats     service counters
-//	GET  /healthz      liveness
+//	GET  /healthz      readiness: 200 while serving, 503 once draining
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is drain-aware readiness: a draining shard answers 503 so
+// any balancer (the router's active prober in particular) ejects it from
+// new-request routing while its in-flight jobs finish.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {

@@ -100,6 +100,37 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 }
 
+// TestHealthzDrainAware pins the readiness contract a balancer relies on:
+// 200 {"status":"ok"} while serving, 503 {"status":"draining"} from the
+// moment Drain begins — never an unconditional 200.
+func TestHealthzDrainAware(t *testing.T) {
+	s := New(Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func() (int, map[string]string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := get(); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("pre-drain healthz: code=%d body=%v, want 200 ok", code, body)
+	}
+	drain(t, s)
+	if code, body := get(); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("post-drain healthz: code=%d body=%v, want 503 draining", code, body)
+	}
+}
+
 func TestHTTPAsyncSubmitThenPoll(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer drain(t, s)

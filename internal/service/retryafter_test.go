@@ -1,0 +1,75 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// The Retry-After hint is contract-pinned: 429/503 responses carry it, so a
+// rejected client can self-pace. These tests exercise the estimator in
+// isolation by setting the EWMA and queue length directly (both are plain
+// fields under s.mu, fed by runJob / enqueueLocked in production).
+
+func hintWith(t *testing.T, workers int, ewmaSolve time.Duration, qlen int) int {
+	t.Helper()
+	s := New(Config{Workers: workers, QueueDepth: qlen + 1})
+	defer drain(t, s)
+	s.mu.Lock()
+	s.ewmaSolveNs = float64(ewmaSolve)
+	s.qlen = qlen
+	s.mu.Unlock()
+	return s.RetryAfterHint()
+}
+
+func TestRetryAfterHintBounds(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		ewma    time.Duration
+		qlen    int
+		min     int
+		max     int
+	}{
+		// No solve observed yet: the hint must still be a positive second.
+		{"cold", 2, 0, 0, 1, 1},
+		// Sub-second solves round up, never down to zero.
+		{"fast-solves", 4, 3 * time.Millisecond, 2, 1, 1},
+		// One queue wave of 2s solves: ceil to at least 2s.
+		{"one-wave", 2, 2 * time.Second, 1, 2, 3},
+		// Pathological backlog: clamped to the 60s ceiling, not hours.
+		{"saturated", 1, 10 * time.Second, 1000, 60, 60},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := hintWith(t, tc.workers, tc.ewma, tc.qlen)
+			if got < 1 {
+				t.Fatalf("hint %d is not positive", got)
+			}
+			if got < tc.min || got > tc.max {
+				t.Fatalf("hint %d outside [%d,%d]", got, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestRetryAfterHintGrowsWithPressure asserts monotone growth in the queue
+// length at a fixed solve speed: more queued waves ahead of you means a
+// longer suggested wait, up to the clamp.
+func TestRetryAfterHintGrowsWithPressure(t *testing.T) {
+	const workers = 2
+	const ewma = 1500 * time.Millisecond
+	prev := 0
+	for _, qlen := range []int{0, 4, 16, 64, 256} {
+		got := hintWith(t, workers, ewma, qlen)
+		if got < prev {
+			t.Fatalf("hint shrank under pressure: qlen=%d gave %d, previous %d", qlen, got, prev)
+		}
+		if got > 60 {
+			t.Fatalf("hint %d exceeds the 60s ceiling at qlen=%d", got, qlen)
+		}
+		prev = got
+	}
+	if prev <= hintWith(t, workers, ewma, 0) {
+		t.Fatalf("sustained pressure never grew the hint (final %d)", prev)
+	}
+}

@@ -288,6 +288,14 @@ var closedDone = func() chan struct{} {
 // Config returns the effective (defaulted) configuration.
 func (s *Service) Config() Config { return s.cfg }
 
+// Draining reports whether Drain has begun: the service still finishes
+// admitted work but rejects new submissions.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 // Submit admits a solve of g under opt at the default batch priority with
 // no deadline. See SubmitWith.
 func (s *Service) Submit(g *graph.Graph, opt ecss.Options) (*Job, bool, error) {
