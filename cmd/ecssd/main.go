@@ -7,7 +7,11 @@
 //	                   "options":{"eps":..,"variant":..,"mst":..,"root":..},
 //	                   "wait":true})
 //	GET  /v1/jobs/{id} job status, progress phase, and result
+//	GET  /v1/jobs/{id}/stream  live SSE of the job's lifecycle events
+//	GET  /v1/jobs/{id}/trace   recorded per-job event trace (JSON)
+//	GET  /v1/events    SSE firehose of every lifecycle event (?types= filter)
 //	GET  /v1/stats     queue/cache/pool counters
+//	GET  /metrics      Prometheus text exposition
 //	GET  /healthz      liveness
 //
 // With -store-dir the result cache is disk-backed and crash-safe
@@ -30,9 +34,12 @@
 // Usage:
 //
 //	ecssd [-addr :8080] [-queue 256] [-workers N] [-cache 512] [-pool N]
-//	      [-net-workers 1] [-drain-timeout 30s]
+//	      [-net-workers 1] [-drain-timeout 30s] [-debug-addr ADDR]
 //	      [-store-dir DIR] [-store-max-bytes 268435456] [-reverify 0]
 //	      [-faults "solve.stage:panic,p=0.01;store.fsync:error,p=0.05"]
+//
+// -debug-addr starts a second listener serving net/http/pprof (profiles,
+// goroutine dumps) away from the public API port.
 package main
 
 import (
@@ -42,12 +49,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (-debug-addr)
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"twoecss/internal/faults"
+	"twoecss/internal/obs"
 	"twoecss/internal/service"
 	"twoecss/internal/store"
 )
@@ -70,6 +79,7 @@ func run() error {
 	storeDir := flag.String("store-dir", "", "disk-backed result store directory (empty: results are not persisted)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "on-disk store budget, LRU-evicted (<=0: unbounded)")
 	reverify := flag.Duration("reverify", 0, "background store reverifier interval (0: disabled)")
+	debugAddr := flag.String("debug-addr", "", "pprof/debug listen address (empty: disabled)")
 	faultSpec := flag.String("faults", "", "fault-injection plan (overrides ECSS_FAULTS; see internal/faults)")
 	flag.Parse()
 
@@ -84,12 +94,17 @@ func run() error {
 		log.Printf("ecssd: fault injection ARMED: %v", faults.Points())
 	}
 
+	// One observability hub per process: the store and the service publish
+	// to the same bus, so /v1/events interleaves both layers' lifecycles.
+	o := obs.New()
+
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
 		st, err = store.OpenWith(*storeDir, store.Options{
 			MaxBytes:      *storeMaxBytes,
 			ReverifyEvery: *reverify,
+			Bus:           o.Bus,
 		})
 		if err != nil {
 			return fmt.Errorf("open store %s: %w", *storeDir, err)
@@ -105,7 +120,16 @@ func run() error {
 		PoolEntries:  *pool,
 		NetWorkers:   *netWorkers,
 		Store:        st, // service owns it: Drain flushes and closes
+		Obs:          o,
 	})
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("ecssd: debug/pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("ecssd: debug listener: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: svc.Handler(),

@@ -12,7 +12,11 @@
 //
 //	POST /v1/solve     routed, retried, hedged
 //	GET  /v1/jobs/{id} fanned out to eligible shards
+//	GET  /v1/jobs/{id}/stream  SSE job stream proxied from the owning shard
+//	GET  /v1/jobs/{id}/trace   per-job event trace fanned out to shards
+//	GET  /v1/events    aggregated firehose: every shard's events, shard-tagged
 //	GET  /v1/stats     router + per-shard health, ejections, retries, hedges
+//	GET  /metrics      Prometheus text exposition (router + per-shard health)
 //	GET  /healthz      200 while >=1 shard eligible; 503 otherwise/draining
 //
 // SIGINT/SIGTERM marks the router draining (healthz 503), then gracefully
@@ -25,7 +29,10 @@
 //	           [-replicas 2] [-vnodes 64] [-probe-interval 500ms]
 //	           [-probe-timeout 2s] [-eject-after 3] [-eject-backoff 500ms]
 //	           [-eject-backoff-max 15s] [-hedge-after 0] [-retry-jitter 25ms]
-//	           [-drain-timeout 30s] [-faults SPEC]
+//	           [-drain-timeout 30s] [-debug-addr ADDR] [-faults SPEC]
+//
+// -debug-addr starts a second listener serving net/http/pprof away from the
+// routed API port.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (-debug-addr)
 	"os"
 	"os/signal"
 	"strings"
@@ -65,6 +73,7 @@ func run() error {
 	hedgeAfter := flag.Duration("hedge-after", 0, "fixed hedging trigger (0: adaptive EWMA p99 policy)")
 	retryJitter := flag.Duration("retry-jitter", 25*time.Millisecond, "max random delay before each retry")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	debugAddr := flag.String("debug-addr", "", "pprof/debug listen address (empty: disabled)")
 	faultSpec := flag.String("faults", "", "fault-injection plan (overrides ECSS_FAULTS; see internal/faults)")
 	flag.Parse()
 
@@ -98,6 +107,14 @@ func run() error {
 	}, addrs)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("ecssrouter: debug/pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("ecssrouter: debug listener: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{

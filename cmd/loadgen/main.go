@@ -31,13 +31,28 @@
 // (and nothing else): never a silent failure. -min-acked-per-target gates
 // that every target actually acknowledged work.
 //
+// Stream mode (-stream) submits with wait=false and consumes each job's
+// lifecycle over GET /v1/jobs/{id}/stream instead of polling: the SSE
+// stream must open, start with an admission event (job.admitted,
+// job.cached, or job.coalesced), carry strictly increasing sequence
+// numbers, and end with exactly one terminal event — anything else is a
+// protocol violation and fails the run. Terminal job.done / job.cached
+// outcomes are confirmed acked via GET /v1/jobs/{id}; explicit expiries,
+// sheds, and injected faults are tolerated the same way chaos mode
+// tolerates them. -min-streamed gates how many protocol-clean streams the
+// run must complete.
+//
+// -check-metrics (any mode) scrapes GET /metrics from every target after
+// the load and fails on an unparseable Prometheus exposition.
+//
 // Usage:
 //
 //	loadgen [-addr http://127.0.0.1:8080] [-targets URL1,URL2,...]
 //	        [-duration 10s] [-concurrency 8]
 //	        [-n 96] [-families er,grid,ring,random,ba] [-seeds 4]
 //	        [-eps 0.25] [-min-cache-hits -1] [-min-store-hits -1]
-//	        [-max-solves -1]
+//	        [-max-solves -1] [-check-metrics]
+//	        [-stream] [-min-streamed -1]
 //	        [-chaos] [-acked-out FILE] [-verify-acked FILE]
 //	        [-min-acked -1] [-min-restored -1] [-min-acked-per-target -1]
 package main
@@ -61,6 +76,7 @@ import (
 	"time"
 
 	"twoecss/internal/graph"
+	"twoecss/internal/obs"
 	"twoecss/internal/service"
 )
 
@@ -94,6 +110,9 @@ func run() error {
 	minCacheHits := flag.Int64("min-cache-hits", -1, "fail unless the server reports at least this many cache hits (<0: no check)")
 	minStoreHits := flag.Int64("min-store-hits", -1, "fail unless the server reports at least this many disk-store hits (<0: no check)")
 	maxSolves := flag.Int64("max-solves", -1, "fail if the server ran more than this many solves (<0: no check; 0 gates a warm restart)")
+	stream := flag.Bool("stream", false, "stream mode: submit wait=false and consume per-job SSE streams instead of polling")
+	minStreamed := flag.Int64("min-streamed", -1, "stream mode: fail unless at least this many protocol-clean streams completed (<0: no check)")
+	checkMetrics := flag.Bool("check-metrics", false, "scrape /metrics from every target after the load and fail on an unparseable exposition")
 	chaos := flag.Bool("chaos", false, "chaos mode: mixed priorities and deadlines, fault-tolerant outcome classification")
 	ackedOut := flag.String("acked-out", "", "chaos mode: write acknowledged results here as 'name sha256' lines")
 	verifyAcked := flag.String("verify-acked", "", "replay the acked file against the server and fail on any lost or altered result")
@@ -125,16 +144,30 @@ func run() error {
 			return err
 		}
 	}
-	if *verifyAcked != "" {
+	var modeErr error
+	switch {
+	case *verifyAcked != "":
 		// Replay through the first target: via a router that is the whole
 		// fleet; against shards directly, any single live one must serve
 		// (or deterministically re-produce) every acknowledged byte.
-		return runVerifyAcked(client, targets[0], items, *verifyAcked)
+		modeErr = runVerifyAcked(client, targets[0], items, *verifyAcked)
+	case *chaos:
+		modeErr = runChaos(client, targets, items, *duration, *concurrency, *ackedOut, *minAcked, *minExpired, *minRestored, *minAckedPerTarget)
+	case *stream:
+		modeErr = runStream(client, targets, items, *duration, *concurrency, *minStreamed)
+	default:
+		modeErr = runSteady(client, targets, items, *duration, *concurrency, *minCacheHits, *minStoreHits, *maxSolves)
 	}
-	if *chaos {
-		return runChaos(client, targets, items, *duration, *concurrency, *ackedOut, *minAcked, *minExpired, *minRestored, *minAckedPerTarget)
+	if modeErr != nil {
+		return modeErr
 	}
+	if *checkMetrics {
+		return checkAllMetrics(client, targets)
+	}
+	return nil
+}
 
+func runSteady(client *http.Client, targets []string, items []workItem, duration time.Duration, concurrency int, minCacheHits, minStoreHits, maxSolves int64) error {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -146,8 +179,8 @@ func run() error {
 		perFail  = make([]int64, len(targets))
 	)
 	start := time.Now()
-	deadline := start.Add(*duration)
-	for w := 0; w < *concurrency; w++ {
+	deadline := start.Add(duration)
+	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -192,7 +225,7 @@ func run() error {
 		if firstErr != nil {
 			return fmt.Errorf("no request succeeded: %w", firstErr)
 		}
-		return fmt.Errorf("no request completed within %s", *duration)
+		return fmt.Errorf("no request completed within %s", duration)
 	}
 	report(samples, failures, wall, len(items))
 	if firstErr != nil {
@@ -224,17 +257,258 @@ func run() error {
 		total.CacheHits += st.CacheHits
 		total.StoreHits += st.StoreHits
 	}
-	if *minCacheHits >= 0 && total.CacheHits < *minCacheHits {
-		return fmt.Errorf("servers report %d cache hits, need >= %d", total.CacheHits, *minCacheHits)
+	if minCacheHits >= 0 && total.CacheHits < minCacheHits {
+		return fmt.Errorf("servers report %d cache hits, need >= %d", total.CacheHits, minCacheHits)
 	}
-	if *minStoreHits >= 0 && total.StoreHits < *minStoreHits {
-		return fmt.Errorf("servers report %d store hits, need >= %d", total.StoreHits, *minStoreHits)
+	if minStoreHits >= 0 && total.StoreHits < minStoreHits {
+		return fmt.Errorf("servers report %d store hits, need >= %d", total.StoreHits, minStoreHits)
 	}
-	if *maxSolves >= 0 && total.Solves > *maxSolves {
-		return fmt.Errorf("servers ran %d solves, allowed <= %d (cold-served traffic on a warm restart)", total.Solves, *maxSolves)
+	if maxSolves >= 0 && total.Solves > maxSolves {
+		return fmt.Errorf("servers ran %d solves, allowed <= %d (cold-served traffic on a warm restart)", total.Solves, maxSolves)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d requests failed", failures)
+	}
+	return nil
+}
+
+// streamOutcome classifies one stream-mode request.
+type streamOutcome int
+
+const (
+	streamAcked     streamOutcome = iota // terminal done/cached, GET confirms done
+	streamExpired                        // explicit deadline expiry
+	streamTolerated                      // shed / unavailable / injected fault, explicitly reported
+	streamConnErr                        // transport error (server may be restarting)
+	streamViolation                      // SSE protocol break — the fatal class
+)
+
+// admissionEvents are the event types allowed to open a per-job stream:
+// every job enters the system by being admitted, served from cache, or
+// coalesced onto an in-flight twin.
+var admissionEvents = map[string]bool{
+	obs.EvJobAdmitted:  true,
+	obs.EvJobCached:    true,
+	obs.EvJobCoalesced: true,
+}
+
+func runStream(client *http.Client, targets []string, items []workItem, duration time.Duration, concurrency int, minStreamed int64) error {
+	// Stream-mode bodies submit wait=false: the lifecycle arrives over SSE,
+	// not in the POST response.
+	bodies := make([][]byte, len(items))
+	for i, it := range items {
+		req := it.req
+		req.Wait = false
+		b, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+	var (
+		wg             sync.WaitGroup
+		mu             sync.Mutex
+		rr             atomic.Int64
+		streamed       int64 // protocol-clean streams (ended in a terminal event)
+		acked          int64
+		expired        int64
+		tolerated      int64
+		connErrs       int64
+		violations     int64
+		firstViolation error
+	)
+	deadline := time.Now().Add(duration)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(4000 + w)))
+			for time.Now().Before(deadline) {
+				i := rng.Intn(len(items))
+				ti := int(rr.Add(1)-1) % len(targets)
+				out, err := streamJob(client, targets[ti], items[i].name, bodies[i])
+				mu.Lock()
+				switch out {
+				case streamAcked:
+					streamed++
+					acked++
+				case streamExpired:
+					streamed++
+					expired++
+				case streamTolerated:
+					tolerated++
+				case streamConnErr:
+					connErrs++
+				case streamViolation:
+					violations++
+					if firstViolation == nil {
+						firstViolation = err
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Printf("stream outcomes: %d protocol-clean streams (%d acked, %d expired), %d tolerated, %d conn errors, %d VIOLATIONS\n",
+		streamed, acked, expired, tolerated, connErrs, violations)
+	if violations > 0 {
+		return fmt.Errorf("%d stream protocol violations, first: %w", violations, firstViolation)
+	}
+	if minStreamed >= 0 && streamed < minStreamed {
+		return fmt.Errorf("only %d protocol-clean streams completed, need >= %d", streamed, minStreamed)
+	}
+	return nil
+}
+
+// streamJob submits one wait=false solve and follows its SSE stream to the
+// terminal event, validating the stream protocol along the way. The
+// returned error is non-nil only for streamViolation outcomes.
+func streamJob(client *http.Client, addr, name string, body []byte) (streamOutcome, error) {
+	resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return streamConnErr, nil
+	}
+	var jr service.JobResponse
+	derr := json.NewDecoder(resp.Body).Decode(&jr)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		return streamTolerated, nil
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		return streamExpired, nil
+	case resp.StatusCode >= 500:
+		return streamTolerated, nil // injected http-layer fault
+	case derr != nil:
+		return streamConnErr, nil
+	case resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted:
+		return streamViolation, fmt.Errorf("%s: submit HTTP %d: %s", name, resp.StatusCode, jr.Error)
+	case jr.JobID == "":
+		return streamViolation, fmt.Errorf("%s: HTTP %d acknowledged submit without a job id", name, resp.StatusCode)
+	}
+
+	sresp, err := client.Get(addr + "/v1/jobs/" + jr.JobID + "/stream")
+	if err != nil {
+		return streamConnErr, nil
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, sresp.Body)
+		return streamViolation, fmt.Errorf("%s: job %s was just acknowledged but its stream answered HTTP %d", name, jr.JobID, sresp.StatusCode)
+	}
+	var (
+		first    = true
+		lastSeq  uint64
+		terminal *obs.Event
+		perr     error
+	)
+	rerr := obs.ReadSSE(sresp.Body, func(ev obs.SSEvent) error {
+		var e obs.Event
+		if err := json.Unmarshal(ev.Data, &e); err != nil {
+			perr = fmt.Errorf("%s: job %s: undecodable event frame: %w", name, jr.JobID, err)
+			return obs.ErrStopSSE
+		}
+		if terminal != nil {
+			perr = fmt.Errorf("%s: job %s: event %s after terminal %s", name, jr.JobID, e.Type, terminal.Type)
+			return obs.ErrStopSSE
+		}
+		if first {
+			first = false
+			if !admissionEvents[e.Type] {
+				perr = fmt.Errorf("%s: job %s: stream opened with %s, want an admission event", name, jr.JobID, e.Type)
+				return obs.ErrStopSSE
+			}
+		}
+		// Seq 0 marks a synthesized replay of an evicted trace's terminal
+		// event; real bus events carry strictly increasing sequence numbers.
+		if e.Seq != 0 {
+			if lastSeq != 0 && e.Seq <= lastSeq {
+				perr = fmt.Errorf("%s: job %s: seq %d after %d", name, jr.JobID, e.Seq, lastSeq)
+				return obs.ErrStopSSE
+			}
+			lastSeq = e.Seq
+		}
+		if e.Terminal {
+			terminal = &e
+		}
+		return nil
+	})
+	switch {
+	case perr != nil:
+		return streamViolation, perr
+	case rerr != nil:
+		return streamConnErr, nil
+	case terminal == nil:
+		return streamViolation, fmt.Errorf("%s: job %s: stream ended without a terminal event", name, jr.JobID)
+	}
+	switch terminal.Type {
+	case obs.EvJobDone, obs.EvJobCached:
+		// The stream says done; the job endpoint must agree and hold bytes.
+		final, err := fetchJob(client, addr, jr.JobID)
+		if err != nil {
+			return streamConnErr, nil
+		}
+		if final.Status != service.StatusDone || len(final.Result) == 0 {
+			return streamViolation, fmt.Errorf("%s: job %s: stream ended %s but GET reports status %s with %d result bytes",
+				name, jr.JobID, terminal.Type, final.Status, len(final.Result))
+		}
+		return streamAcked, nil
+	case obs.EvJobExpired:
+		return streamExpired, nil
+	case obs.EvJobShed, obs.EvJobCanceled:
+		return streamTolerated, nil
+	case obs.EvJobFailed:
+		if strings.Contains(terminal.Err, "deadline") {
+			return streamExpired, nil
+		}
+		if terminal.Err == "" {
+			return streamViolation, fmt.Errorf("%s: job %s: terminal job.failed carried no error", name, jr.JobID)
+		}
+		return streamTolerated, nil
+	}
+	return streamViolation, fmt.Errorf("%s: job %s: unknown terminal event %s", name, jr.JobID, terminal.Type)
+}
+
+func fetchJob(client *http.Client, addr, id string) (service.JobResponse, error) {
+	var jr service.JobResponse
+	resp, err := client.Get(addr + "/v1/jobs/" + id)
+	if err != nil {
+		return jr, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return jr, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return jr, fmt.Errorf("GET /v1/jobs/%s: HTTP %d", id, resp.StatusCode)
+	}
+	return jr, nil
+}
+
+// checkAllMetrics scrapes /metrics from every target and validates the
+// Prometheus text exposition, failing the run on the first malformed line.
+func checkAllMetrics(client *http.Client, targets []string) error {
+	for _, t := range targets {
+		resp, err := client.Get(t + "/metrics")
+		if err != nil {
+			return fmt.Errorf("scrape %s/metrics: %w", t, err)
+		}
+		doc, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return fmt.Errorf("scrape %s/metrics: %w", t, rerr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("scrape %s/metrics: HTTP %d", t, resp.StatusCode)
+		}
+		st, err := obs.ValidateExposition(doc)
+		if err != nil {
+			return fmt.Errorf("%s/metrics: malformed exposition: %w", t, err)
+		}
+		fmt.Printf("metrics:       %s: %d families, %d samples, exposition clean\n", t, st.Families, st.Samples)
 	}
 	return nil
 }

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// drain empties whatever is currently buffered on sub.
+func drain(sub *Sub) []Event {
+	var out []Event
+	for {
+		select {
+		case e := <-sub.ch:
+			out = append(out, e)
+		default:
+			return out
+		}
+	}
+}
+
+func TestPublishAssignsMonotonicSeq(t *testing.T) {
+	b := NewBus(16)
+	var last uint64
+	for i := 0; i < 50; i++ {
+		e := b.Publish(Event{Type: EvJobAdmitted, Job: "j1"})
+		if e.Seq != last+1 {
+			t.Fatalf("seq %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+	}
+	if st := b.Stats(); st.Published != 50 {
+		t.Fatalf("published = %d, want 50", st.Published)
+	}
+}
+
+func TestSequenceMonotonicUnderConcurrentPublishers(t *testing.T) {
+	b := NewBus(0)
+	sub := b.Subscribe(SubOptions{Buffer: 1 << 14})
+	defer sub.Close()
+	const publishers, perPublisher = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				b.Publish(Event{Type: EvJobStage, Job: fmt.Sprintf("j%d", p), Stage: "bfs"})
+			}
+		}(p)
+	}
+	wg.Wait()
+	got := drain(sub)
+	if len(got) != publishers*perPublisher {
+		t.Fatalf("delivered %d events, want %d (dropped %d)", len(got), publishers*perPublisher, sub.Dropped())
+	}
+	// Delivery order must be publish order: strictly increasing, no dups,
+	// no gaps — the bus holds its lock across stamp-and-fanout.
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestSlowConsumerDropAccounting(t *testing.T) {
+	b := NewBus(0)
+	slow := b.Subscribe(SubOptions{Buffer: 4})
+	fast := b.Subscribe(SubOptions{Buffer: 64})
+	defer slow.Close()
+	defer fast.Close()
+	for i := 0; i < 32; i++ {
+		b.Publish(Event{Type: EvJobAdmitted})
+	}
+	if got := len(drain(slow)); got != 4 {
+		t.Fatalf("slow consumer buffered %d, want 4", got)
+	}
+	if d := slow.Dropped(); d != 28 {
+		t.Fatalf("slow consumer dropped %d, want 28", d)
+	}
+	if d := fast.Dropped(); d != 0 {
+		t.Fatalf("fast consumer dropped %d, want 0", d)
+	}
+	if st := b.Stats(); st.Dropped != 28 {
+		t.Fatalf("bus dropped %d, want 28", st.Dropped)
+	}
+	// The slow consumer hurt only itself.
+	if got := len(drain(fast)); got != 32 {
+		t.Fatalf("fast consumer got %d, want 32", got)
+	}
+}
+
+func TestTypeFiltering(t *testing.T) {
+	b := NewBus(0)
+	sub := b.Subscribe(SubOptions{Types: []string{EvJobDone, EvJobFailed}})
+	defer sub.Close()
+	b.Publish(Event{Type: EvJobAdmitted, Job: "j1"})
+	b.Publish(Event{Type: EvJobStage, Job: "j1"})
+	b.Publish(Event{Type: EvJobDone, Job: "j1", Terminal: true})
+	b.Publish(Event{Type: EvJobFailed, Job: "j2", Terminal: true})
+	got := drain(sub)
+	if len(got) != 2 || got[0].Type != EvJobDone || got[1].Type != EvJobFailed {
+		t.Fatalf("filtered delivery = %+v", got)
+	}
+}
+
+func TestJobFilterAndTraceReplay(t *testing.T) {
+	b := NewBus(0)
+	b.Publish(Event{Type: EvJobAdmitted, Job: "j1"})
+	b.Publish(Event{Type: EvJobAdmitted, Job: "j2"})
+	b.Publish(Event{Type: EvJobStarted, Job: "j1"})
+	b.Publish(Event{Type: EvJobDone, Job: "j1", Terminal: true})
+
+	// Replay of a finished job yields its whole lifecycle, nothing else.
+	sub := b.Subscribe(SubOptions{Job: "j1", Replay: true})
+	got := drain(sub)
+	sub.Close()
+	want := []string{EvJobAdmitted, EvJobStarted, EvJobDone}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i, e := range got {
+		if e.Type != want[i] || e.Job != "j1" {
+			t.Fatalf("event %d = %+v, want type %s", i, e, want[i])
+		}
+	}
+
+	// A sealed trace ignores later serving events.
+	b.Publish(Event{Type: EvJobCached, Job: "j1", Terminal: true})
+	if tr := b.Trace("j1"); len(tr) != 3 {
+		t.Fatalf("trace grew to %d after seal", len(tr))
+	}
+
+	// Live filtering: only j2 events arrive on a j2 subscription.
+	sub2 := b.Subscribe(SubOptions{Job: "j2", Replay: true})
+	defer sub2.Close()
+	b.Publish(Event{Type: EvJobStarted, Job: "j2"})
+	b.Publish(Event{Type: EvJobStarted, Job: "j3"})
+	got2 := drain(sub2)
+	if len(got2) != 2 || got2[0].Type != EvJobAdmitted || got2[1].Type != EvJobStarted {
+		t.Fatalf("j2 subscription saw %+v", got2)
+	}
+}
+
+func TestReplayFromSeqSkipsDelivered(t *testing.T) {
+	b := NewBus(64)
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Type: EvJobAdmitted})
+	}
+	sub := b.Subscribe(SubOptions{Replay: true, FromSeq: 7})
+	defer sub.Close()
+	got := drain(sub)
+	if len(got) != 3 || got[0].Seq != 8 || got[2].Seq != 10 {
+		t.Fatalf("resume from 7 delivered %+v", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	b := NewBus(8)
+	for i := 0; i < 20; i++ {
+		b.Publish(Event{Type: EvJobAdmitted})
+	}
+	sub := b.Subscribe(SubOptions{Replay: true})
+	defer sub.Close()
+	got := drain(sub)
+	if len(got) != 8 || got[0].Seq != 13 || got[7].Seq != 20 {
+		t.Fatalf("ring replay = %d events, first %d last %d", len(got), got[0].Seq, got[len(got)-1].Seq)
+	}
+}
+
+func TestTraceBoundKeepsTerminal(t *testing.T) {
+	b := NewBus(0)
+	for i := 0; i < traceEvents+50; i++ {
+		b.Publish(Event{Type: EvJobStage, Job: "big"})
+	}
+	b.Publish(Event{Type: EvJobDone, Job: "big", Terminal: true})
+	tr := b.Trace("big")
+	if len(tr) != traceEvents+1 {
+		t.Fatalf("trace len %d, want %d", len(tr), traceEvents+1)
+	}
+	if !tr[len(tr)-1].Terminal {
+		t.Fatal("bounded trace lost its terminal event")
+	}
+	if st := b.Stats(); st.TraceDropped != 50 {
+		t.Fatalf("trace dropped %d, want 50", st.TraceDropped)
+	}
+}
+
+func TestTraceJobEviction(t *testing.T) {
+	b := NewBus(0)
+	for i := 0; i < traceJobs+10; i++ {
+		b.Publish(Event{Type: EvJobAdmitted, Job: fmt.Sprintf("j%05d", i)})
+	}
+	if got := len(b.Trace("j00000")); got != 0 {
+		t.Fatalf("oldest trace survived eviction with %d events", got)
+	}
+	if got := len(b.Trace(fmt.Sprintf("j%05d", traceJobs+9))); got != 1 {
+		t.Fatalf("newest trace has %d events", got)
+	}
+}
+
+func TestSubscribeCloseConcurrentWithPublish(t *testing.T) {
+	b := NewBus(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			b.Publish(Event{Type: EvJobStage, Job: "j"})
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		sub := b.Subscribe(SubOptions{Buffer: 2})
+		drain(sub)
+		sub.Close()
+	}
+	wg.Wait()
+	if st := b.Stats(); st.Subscribers != 0 {
+		t.Fatalf("%d subscribers left registered", st.Subscribers)
+	}
+}

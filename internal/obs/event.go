@@ -1,0 +1,119 @@
+// Package obs is the process-wide observability layer behind the serving
+// stack (DESIGN.md §11): a bounded fan-out event Bus carrying typed
+// lifecycle events with monotonic sequence numbers, per-job event traces,
+// SSE serving and parsing, a Prometheus-text metrics Registry, and
+// runtime-sourced gauges. The service, store, and router publish into one
+// Bus per process; cmd/ecssd and cmd/ecssrouter expose it at /v1/events
+// (firehose), /v1/jobs/{id}/stream (per-job SSE), /v1/jobs/{id}/trace
+// (ordered span timeline), and /metrics.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"time"
+)
+
+// Event types. The taxonomy is part of the operational API: names are
+// dotted <subsystem>.<what>, stable across releases, and every event a
+// subsystem acknowledges having processed is replayable from its trace.
+const (
+	// Job lifecycle (service). Admitted/started/stage/retry narrate a solve;
+	// done/failed/expired/shed/canceled are terminal; cached marks a
+	// submission served without a solve (memory cache or disk store — the
+	// job is terminal the moment it exists); coalesced marks a submission
+	// attached to an identical in-flight job.
+	EvJobAdmitted  = "job.admitted"
+	EvJobStarted   = "job.started"
+	EvJobStage     = "job.stage"
+	EvJobRetry     = "job.retry"
+	EvJobDone      = "job.done"
+	EvJobFailed    = "job.failed"
+	EvJobExpired   = "job.expired"
+	EvJobShed      = "job.shed"
+	EvJobCanceled  = "job.canceled"
+	EvJobCached    = "job.cached"
+	EvJobCoalesced = "job.coalesced"
+
+	// Result store.
+	EvStoreWrite        = "store.write"
+	EvStoreWriteError   = "store.write_error"
+	EvStoreEvict        = "store.evict"
+	EvStoreQuarantine   = "store.quarantine"
+	EvStoreRestore      = "store.restore"
+	EvStoreReverifyDrop = "store.reverify_delete"
+
+	// Routing tier.
+	EvRouterRetry           = "router.retry"
+	EvRouterHedge           = "router.hedge"
+	EvRouterHedgeWon        = "router.hedge_won"
+	EvRouterAttemptCanceled = "router.attempt_canceled"
+	EvRouterEject           = "router.eject"
+	EvRouterShardDrain      = "router.shard_drain"
+	EvRouterShardRecovered  = "router.shard_recovered"
+	EvRouterNoShard         = "router.no_shard"
+	EvRouterDrain           = "router.drain"
+
+	// Process-level.
+	EvServiceDrain = "service.drain"
+)
+
+// Event is one observable occurrence. Seq is assigned by the publishing
+// Bus and is strictly monotonic per process; a router republishing a
+// shard's events re-stamps Seq on its own bus and preserves the original
+// in ShardSeq, tagged with Shard.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	TS   time.Time `json:"ts"`
+	Type string    `json:"type"`
+
+	// Job is the (shard-local) job id the event belongs to, when any.
+	Job string `json:"job,omitempty"`
+	// Req is the request id minted at admission or propagated from the
+	// router via the X-ECSS-Request-Id header: every event of one client
+	// request — including both attempts of a hedged forward — shares it.
+	Req string `json:"req,omitempty"`
+	// Shard tags router-aggregated events with the origin shard's address;
+	// ShardSeq preserves the shard bus's own sequence number.
+	Shard    string `json:"shard,omitempty"`
+	ShardSeq uint64 `json:"shard_seq,omitempty"`
+
+	// Stage is the pipeline stage for job.stage events.
+	Stage string `json:"stage,omitempty"`
+	// Key is a content-address prefix (store and admission events).
+	Key string `json:"key,omitempty"`
+	// Class is the admission priority class of job events.
+	Class string `json:"class,omitempty"`
+	// Err carries the failure cause of *_error / failed / expired events.
+	Err string `json:"error,omitempty"`
+	// MS is a duration in milliseconds where one is meaningful (job.done,
+	// job.failed: solve wall time; job.stage: time since solve start).
+	MS float64 `json:"ms,omitempty"`
+	// Terminal marks the event that ends a job's lifecycle; a per-job SSE
+	// stream closes after relaying it.
+	Terminal bool `json:"terminal,omitempty"`
+}
+
+// RequestIDHeader is the HTTP header carrying the request id end to end:
+// minted by whichever tier sees the request first (router or shard),
+// stamped on every event and every retried or hedged backend attempt, and
+// echoed on the response.
+const RequestIDHeader = "X-ECSS-Request-Id"
+
+// ShardHeader is set by the router on relayed responses to name the shard
+// whose attempt won.
+const ShardHeader = "X-ECSS-Shard"
+
+// NewRequestID mints a 16-hex-char random request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; degrade to a
+		// time-derived id rather than panicking on an exotic one.
+		now := uint64(time.Now().UnixNano())
+		for i := range b {
+			b[i] = byte(now >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ExpoStats summarizes a validated exposition document.
+type ExpoStats struct {
+	Families int
+	Samples  int
+}
+
+// ValidateExposition parses a Prometheus text-format (v0.0.4) document and
+// returns an error naming the first malformed line. It checks metric and
+// label name syntax, label quoting and escapes, value parseability
+// (including +Inf/-Inf/NaN), TYPE declarations (known type, at most one
+// per family, declared before the family's samples), and that histogram
+// series use only the _bucket/_sum/_count suffixes of their family. CI
+// scrapes /metrics through this (loadgen -check-metrics) so an
+// unparseable exposition fails the build, not the first real scraper.
+func ValidateExposition(doc []byte) (ExpoStats, error) {
+	var st ExpoStats
+	typed := make(map[string]string) // family -> type
+	sampled := make(map[string]bool) // families that already emitted samples
+	for i, raw := range strings.Split(string(doc), "\n") {
+		lineNo := i + 1
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 && (fields[0] == "TYPE" || fields[0] == "HELP") {
+				if len(fields) < 2 || !validName(fields[1]) {
+					return st, fmt.Errorf("line %d: malformed %s comment: %q", lineNo, fields[0], line)
+				}
+				if fields[0] == "TYPE" {
+					if len(fields) != 3 {
+						return st, fmt.Errorf("line %d: TYPE wants 'TYPE name type': %q", lineNo, line)
+					}
+					switch fields[2] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return st, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[2])
+					}
+					if _, dup := typed[fields[1]]; dup {
+						return st, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[1])
+					}
+					if sampled[fields[1]] {
+						return st, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, fields[1])
+					}
+					typed[fields[1]] = fields[2]
+					st.Families++
+				}
+			}
+			continue
+		}
+		name, rest, err := parseSeriesName(line)
+		if err != nil {
+			return st, fmt.Errorf("line %d: %w: %q", lineNo, err, line)
+		}
+		fam := histogramFamily(name, typed)
+		sampled[fam] = true
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return st, fmt.Errorf("line %d: want 'series value [timestamp]': %q", lineNo, line)
+		}
+		if _, err := parseExpoValue(fields[0]); err != nil {
+			return st, fmt.Errorf("line %d: bad value %q: %w", lineNo, fields[0], err)
+		}
+		if len(fields) == 2 {
+			if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+				return st, fmt.Errorf("line %d: bad timestamp %q", lineNo, fields[1])
+			}
+		}
+		st.Samples++
+	}
+	return st, nil
+}
+
+// histogramFamily maps a histogram/summary series name back to its family
+// (stripping _bucket/_sum/_count) when that family was TYPE-declared.
+func histogramFamily(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := typed[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSeriesName consumes `name` or `name{label="value",...}` and returns
+// the series name plus the remaining (value/timestamp) text.
+func parseSeriesName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return "", "", fmt.Errorf("series with no value")
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if line[i] != '{' {
+		return name, line[i:], nil
+	}
+	// Scan the label block respecting quoting and escapes.
+	j := i + 1
+	for j < len(line) {
+		// label name
+		k := j
+		for k < len(line) && line[k] != '=' && line[k] != '}' {
+			k++
+		}
+		if k < len(line) && line[k] == '}' && strings.TrimSpace(line[j:k]) == "" {
+			j = k // empty label set or trailing comma
+			break
+		}
+		if k >= len(line) || line[k] != '=' {
+			return "", "", fmt.Errorf("unterminated label name")
+		}
+		if !validName(strings.TrimSpace(line[j:k])) || strings.Contains(line[j:k], ":") {
+			return "", "", fmt.Errorf("invalid label name %q", strings.TrimSpace(line[j:k]))
+		}
+		k++
+		if k >= len(line) || line[k] != '"' {
+			return "", "", fmt.Errorf("label value not quoted")
+		}
+		k++
+		for k < len(line) {
+			if line[k] == '\\' {
+				if k+1 >= len(line) {
+					return "", "", fmt.Errorf("dangling escape in label value")
+				}
+				switch line[k+1] {
+				case '\\', '"', 'n':
+				default:
+					return "", "", fmt.Errorf("bad escape \\%c in label value", line[k+1])
+				}
+				k += 2
+				continue
+			}
+			if line[k] == '"' {
+				break
+			}
+			k++
+		}
+		if k >= len(line) {
+			return "", "", fmt.Errorf("unterminated label value")
+		}
+		k++ // closing quote
+		if k < len(line) && line[k] == ',' {
+			j = k + 1
+			continue
+		}
+		j = k
+		break
+	}
+	if j >= len(line) || line[j] != '}' {
+		return "", "", fmt.Errorf("unterminated label set")
+	}
+	return name, line[j+1:], nil
+}
+
+func parseExpoValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return 0, nil
+	case "-Inf":
+		return 0, nil
+	case "NaN", "nan":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

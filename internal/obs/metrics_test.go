@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ecss_test_total", "A counter.").Add(3)
+	r.Counter("ecss_test_classed_total", "Classed counter.", L("class", "interactive")).Inc()
+	r.Counter("ecss_test_classed_total", "Classed counter.", L("class", "batch")).Add(2)
+	r.Gauge("ecss_test_depth", "A gauge.").Set(7.5)
+	h := r.Histogram("ecss_test_seconds", "A histogram.", []float64{0.1, 1, 10}, L("stage", "bfs"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+	r.Collect(func(emit func(Sample)) {
+		emit(Sample{Name: "ecss_test_collected", Help: "Scrape-time sample.", Type: "gauge", Value: 42, Labels: []Label{L("shard", `http://s1:8081`)}})
+		emit(Sample{Name: "ecss_test_escaped", Help: "quote \" backslash \\ newline.", Type: "gauge", Value: 1, Labels: []Label{L("v", "a\"b\\c\nd")}})
+	})
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+
+	for _, want := range []string{
+		"# TYPE ecss_test_total counter",
+		"ecss_test_total 3",
+		`ecss_test_classed_total{class="batch"} 2`,
+		`ecss_test_classed_total{class="interactive"} 1`,
+		"ecss_test_depth 7.5",
+		"# TYPE ecss_test_seconds histogram",
+		`ecss_test_seconds_bucket{le="0.1",stage="bfs"} 1`,
+		`ecss_test_seconds_bucket{le="1",stage="bfs"} 2`,
+		`ecss_test_seconds_bucket{le="+Inf",stage="bfs"} 3`,
+		`ecss_test_seconds_count{stage="bfs"} 3`,
+		`ecss_test_collected{shard="http://s1:8081"} 42`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, doc)
+		}
+	}
+
+	st, err := ValidateExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("own exposition does not validate: %v\n%s", err, doc)
+	}
+	if st.Families < 6 || st.Samples < 10 {
+		t.Fatalf("validator saw %d families / %d samples", st.Families, st.Samples)
+	}
+}
+
+func TestValidatorRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"metric with spaces 1\n",
+		"name{label=\"unterminated} 1\n",
+		"name{label=\"v\"} notanumber\n",
+		"2leadingdigit 1\n",
+		"name{9bad=\"v\"} 1\n",
+		"# TYPE name nonsense\n",
+		"name 1\n# TYPE name counter\n",
+		"# TYPE name counter\n# TYPE name counter\n",
+		"name{l=\"bad escape \\q\"} 1\n",
+	} {
+		if _, err := ValidateExposition([]byte(bad)); err == nil {
+			t.Errorf("validator accepted %q", bad)
+		}
+	}
+	good := "# HELP m doc\n# TYPE m histogram\nm_bucket{le=\"+Inf\"} 3\nm_sum 1.5\nm_count 3\nplain 4 1700000000\n"
+	if _, err := ValidateExposition([]byte(good)); err != nil {
+		t.Errorf("validator rejected valid doc: %v", err)
+	}
+}
+
+func TestNewObsServesRuntimeAndBusMetrics(t *testing.T) {
+	o := New()
+	o.Bus.Publish(Event{Type: EvJobAdmitted, Job: "j1"})
+	rec := httptest.NewRecorder()
+	o.Metrics.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.Bytes()
+	if _, err := ValidateExposition(body); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{"ecss_runtime_goroutines", "ecss_events_published_total 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("missing %q in:\n%s", want, body)
+		}
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}
+
+func TestCounterGaugeHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ecss_conc_total", "c")
+	h := r.Histogram("ecss_conc_seconds", "h", nil)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if c.Value() != 4000 {
+		t.Fatalf("counter %v, want 4000", c.Value())
+	}
+	if n := h.count.Load(); n != 4000 {
+		t.Fatalf("histogram count %d, want 4000", n)
+	}
+}

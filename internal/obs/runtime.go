@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"runtime/metrics"
+)
+
+// runtimeMetric maps one runtime/metrics sample to an exposition family.
+// Histogram-kind sources export their cumulative event count; unsupported
+// names (older/newer toolchains) are skipped at scrape time, never fatal.
+type runtimeMetric struct {
+	src  string
+	name string
+	help string
+	typ  string
+}
+
+var runtimeMetricSet = []runtimeMetric{
+	{"/sched/goroutines:goroutines", "ecss_runtime_goroutines", "Live goroutines.", "gauge"},
+	{"/memory/classes/heap/objects:bytes", "ecss_runtime_heap_objects_bytes", "Bytes occupied by live heap objects and dead objects not yet swept.", "gauge"},
+	{"/memory/classes/total:bytes", "ecss_runtime_memory_total_bytes", "All memory mapped by the Go runtime.", "gauge"},
+	{"/gc/cycles/total:gc-cycles", "ecss_runtime_gc_cycles_total", "Completed GC cycles.", "counter"},
+	{"/gc/heap/allocs:bytes", "ecss_runtime_heap_allocs_bytes_total", "Cumulative bytes allocated on the heap.", "counter"},
+	{"/sched/pauses/total/gc:seconds", "ecss_runtime_gc_pauses_total", "Stop-the-world GC pauses observed (count from the runtime pause histogram).", "counter"},
+	{"/sched/latencies:seconds", "ecss_runtime_sched_latency_samples_total", "Goroutine scheduling latency samples observed.", "counter"},
+}
+
+// RegisterRuntimeMetrics adds a runtime/metrics-sourced gauge set
+// (goroutines, heap and total memory, GC cycles and pauses) to r, sampled
+// at scrape time.
+func RegisterRuntimeMetrics(r *Registry) {
+	samples := make([]metrics.Sample, len(runtimeMetricSet))
+	for i, m := range runtimeMetricSet {
+		samples[i].Name = m.src
+	}
+	r.Collect(func(emit func(Sample)) {
+		// Read refreshes in place; the slice is captured by the closure so
+		// scrape allocations stay minimal.
+		metrics.Read(samples)
+		for i, m := range runtimeMetricSet {
+			var v float64
+			switch samples[i].Value.Kind() {
+			case metrics.KindUint64:
+				v = float64(samples[i].Value.Uint64())
+			case metrics.KindFloat64:
+				v = samples[i].Value.Float64()
+			case metrics.KindFloat64Histogram:
+				h := samples[i].Value.Float64Histogram()
+				var n uint64
+				for _, c := range h.Counts {
+					n += c
+				}
+				v = float64(n)
+			default:
+				continue // KindBad: unsupported on this toolchain
+			}
+			emit(Sample{Name: m.name, Help: m.help, Type: m.typ, Value: v})
+		}
+	})
+}
+
+// Obs bundles the per-process bus and metrics registry. New wires the
+// bus's own accounting and the runtime gauge set into the registry, so
+// every daemon exposes them uniformly.
+type Obs struct {
+	Bus     *Bus
+	Metrics *Registry
+}
+
+// New builds a process observability hub.
+func New() *Obs {
+	o := &Obs{Bus: NewBus(0), Metrics: NewRegistry()}
+	RegisterRuntimeMetrics(o.Metrics)
+	bus := o.Bus
+	o.Metrics.Collect(func(emit func(Sample)) {
+		st := bus.Stats()
+		emit(Sample{Name: "ecss_events_published_total", Help: "Events published to the bus.", Type: "counter", Value: float64(st.Published)})
+		emit(Sample{Name: "ecss_events_dropped_total", Help: "Events lost to full subscriber buffers (slow-consumer policy).", Type: "counter", Value: float64(st.Dropped)})
+		emit(Sample{Name: "ecss_events_trace_dropped_total", Help: "Events lost to the per-job trace bound.", Type: "counter", Value: float64(st.TraceDropped)})
+		emit(Sample{Name: "ecss_events_subscribers", Help: "Live bus subscriptions.", Type: "gauge", Value: float64(st.Subscribers)})
+		emit(Sample{Name: "ecss_events_trace_jobs", Help: "Jobs with a retained event trace.", Type: "gauge", Value: float64(st.TraceJobs)})
+	})
+	return o
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SSE framing: every event is written as
+//
+//	id: <bus sequence number>
+//	event: <event type>
+//	data: <the Event as one JSON object>
+//
+// followed by a blank line. The id doubles as the resume cursor: a client
+// reconnecting with Last-Event-ID (or ?from=N) replays every retained
+// event with a larger sequence number before going live, so a short
+// disconnect loses nothing that is still inside the replay ring.
+
+// heartbeatEvery paces the ": ping" comment lines that keep idle streams
+// alive through proxies and surface dead client connections.
+const heartbeatEvery = 15 * time.Second
+
+func writeSSE(w io.Writer, e Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+	return err
+}
+
+// sseSetup readies w for an event stream, returning its flusher.
+func sseSetup(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by this connection", http.StatusNotImplemented)
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	return fl, true
+}
+
+// fromSeq extracts the resume cursor from Last-Event-ID or ?from=.
+func fromSeq(r *http.Request) (uint64, bool) {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("from")
+	}
+	if raw == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// ServeFirehose streams the bus over SSE: every event (optionally
+// restricted by ?types=a,b,c), resumable via Last-Event-ID. The stream
+// runs until the client disconnects; a slow client drops events (the
+// stream interleaves ": dropped N" comments so the loss is visible
+// in-band as well as in the metrics).
+func (b *Bus) ServeFirehose(w http.ResponseWriter, r *http.Request) {
+	var types []string
+	if raw := r.URL.Query().Get("types"); raw != "" {
+		types = strings.Split(raw, ",")
+	}
+	from, resume := fromSeq(r)
+	sub := b.Subscribe(SubOptions{
+		Buffer:  256,
+		Types:   types,
+		Replay:  resume,
+		FromSeq: from,
+	})
+	defer sub.Close()
+	fl, ok := sseSetup(w)
+	if !ok {
+		return
+	}
+	b.streamSub(w, r, fl, sub, false)
+}
+
+// ServeJobStream streams one job's lifecycle over SSE: the retained trace
+// replays first (so an already-finished job immediately yields its events
+// through the terminal one), then live events follow until the job
+// reaches a terminal state, which closes the stream.
+func (b *Bus) ServeJobStream(w http.ResponseWriter, r *http.Request, job string) {
+	from, _ := fromSeq(r)
+	sub := b.Subscribe(SubOptions{
+		Buffer:  DefaultSubBuffer,
+		Job:     job,
+		Replay:  true,
+		FromSeq: from,
+	})
+	defer sub.Close()
+	fl, ok := sseSetup(w)
+	if !ok {
+		return
+	}
+	b.streamSub(w, r, fl, sub, true)
+}
+
+// streamSub drains sub to the client until disconnect — or, when
+// untilTerminal is set, until a terminal event has been relayed.
+func (b *Bus) streamSub(w http.ResponseWriter, r *http.Request, fl http.Flusher, sub *Sub, untilTerminal bool) {
+	hb := time.NewTicker(heartbeatEvery)
+	defer hb.Stop()
+	var reported uint64
+	for {
+		select {
+		case e, ok := <-sub.ch:
+			if !ok {
+				return
+			}
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+			if d := sub.Dropped(); d > reported {
+				reported = d
+				fmt.Fprintf(w, ": dropped %d\n\n", d)
+			}
+			fl.Flush()
+			if untilTerminal && e.Terminal {
+				return
+			}
+		case <-hb.C:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ServeOneEvent writes a single-event SSE response and ends the stream.
+// Serving layers use it to synthesize a terminal event for a finished job
+// whose retained trace is gone: the stream contract ("ends in a terminal
+// event") holds even when the bus no longer remembers the lifecycle.
+func ServeOneEvent(w http.ResponseWriter, e Event) {
+	if e.TS.IsZero() {
+		e.TS = time.Now()
+	}
+	fl, ok := sseSetup(w)
+	if !ok {
+		return
+	}
+	if err := writeSSE(w, e); err == nil {
+		fl.Flush()
+	}
+}
+
+// SSEvent is one parsed server-sent event.
+type SSEvent struct {
+	ID   uint64
+	Type string
+	Data []byte
+}
+
+// ErrStopSSE stops ReadSSE without error: the consumer saw what it was
+// waiting for (a terminal job event, typically).
+var ErrStopSSE = errors.New("obs: stop reading stream")
+
+// ReadSSE parses a server-sent event stream, invoking fn per event until
+// EOF, a read error, or fn returning an error (ErrStopSSE reads as a
+// clean stop). Comment lines and unknown fields are ignored, multi-line
+// data is concatenated with newlines per the SSE spec.
+func ReadSSE(r io.Reader, fn func(SSEvent) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var ev SSEvent
+	var data [][]byte
+	flush := func() error {
+		if len(data) == 0 && ev.Type == "" && ev.ID == 0 {
+			return nil
+		}
+		ev.Data = bytes.Join(data, []byte("\n"))
+		err := fn(ev)
+		ev = SSEvent{}
+		data = nil
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			if err := flush(); err != nil {
+				if errors.Is(err, ErrStopSSE) {
+					return nil
+				}
+				return err
+			}
+			continue
+		}
+		if strings.HasPrefix(line, ":") {
+			continue
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			if n, err := strconv.ParseUint(value, 10, 64); err == nil {
+				ev.ID = n
+			}
+		case "event":
+			ev.Type = value
+		case "data":
+			data = append(data, []byte(value))
+		}
+	}
+	if err := flush(); err != nil && !errors.Is(err, ErrStopSSE) {
+		return err
+	}
+	return sc.Err()
+}

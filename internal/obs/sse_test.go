@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collectSSE reads events from an SSE response until n events arrived or
+// the stream ends.
+func collectSSE(t *testing.T, body *bufio.Reader, n int) []Event {
+	t.Helper()
+	var out []Event
+	err := ReadSSE(body, func(ev SSEvent) error {
+		var e Event
+		if err := json.Unmarshal(ev.Data, &e); err != nil {
+			return fmt.Errorf("bad event JSON %q: %w", ev.Data, err)
+		}
+		if e.Seq != ev.ID {
+			return fmt.Errorf("frame id %d != payload seq %d", ev.ID, e.Seq)
+		}
+		if e.Type != ev.Type {
+			return fmt.Errorf("frame event %q != payload type %q", ev.Type, e.Type)
+		}
+		out = append(out, e)
+		if len(out) >= n {
+			return ErrStopSSE
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadSSE: %v", err)
+	}
+	return out
+}
+
+func TestFirehoseSSEAndTypeFilter(t *testing.T) {
+	b := NewBus(0)
+	srv := httptest.NewServer(http.HandlerFunc(b.ServeFirehose))
+	defer srv.Close()
+
+	go func() {
+		for i := 0; i < 20; i++ {
+			b.Publish(Event{Type: EvJobAdmitted, Job: fmt.Sprintf("j%d", i)})
+			b.Publish(Event{Type: EvJobDone, Job: fmt.Sprintf("j%d", i), Terminal: true})
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	resp, err := http.Get(srv.URL + "?types=job.done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	got := collectSSE(t, bufio.NewReader(resp.Body), 5)
+	for _, e := range got {
+		if e.Type != EvJobDone {
+			t.Fatalf("type filter leaked %+v", e)
+		}
+	}
+}
+
+func TestFirehoseResumeWithLastEventID(t *testing.T) {
+	b := NewBus(64)
+	srv := httptest.NewServer(http.HandlerFunc(b.ServeFirehose))
+	defer srv.Close()
+
+	for i := 0; i < 6; i++ {
+		b.Publish(Event{Type: EvJobAdmitted})
+	}
+
+	// First connection: resume from 0 replays everything retained.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("Last-Event-ID", "0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := collectSSE(t, bufio.NewReader(resp.Body), 4)
+	resp.Body.Close()
+	if first[0].Seq != 1 || first[3].Seq != 4 {
+		t.Fatalf("initial replay seqs %d..%d", first[0].Seq, first[3].Seq)
+	}
+
+	// Reconnect with the last seen id: the remaining retained events
+	// arrive exactly once, no duplicates, no gap.
+	req2, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req2.Header.Set("Last-Event-ID", "4")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	rest := collectSSE(t, bufio.NewReader(resp2.Body), 2)
+	if rest[0].Seq != 5 || rest[1].Seq != 6 {
+		t.Fatalf("resumed seqs %d,%d want 5,6", rest[0].Seq, rest[1].Seq)
+	}
+}
+
+func TestJobStreamReplaysTerminalAndCloses(t *testing.T) {
+	b := NewBus(0)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		b.ServeJobStream(w, r, r.PathValue("id"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	b.Publish(Event{Type: EvJobAdmitted, Job: "j1"})
+	b.Publish(Event{Type: EvJobStarted, Job: "j1"})
+	b.Publish(Event{Type: EvJobDone, Job: "j1", Terminal: true, MS: 1.5})
+
+	// Finished job: the whole lifecycle replays and the server closes the
+	// stream after the terminal event — ReadSSE returns on EOF.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/jobs/j1/stream", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []Event
+	if err := ReadSSE(bufio.NewReader(resp.Body), func(ev SSEvent) error {
+		var e Event
+		if err := json.Unmarshal(ev.Data, &e); err != nil {
+			return err
+		}
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("ReadSSE: %v", err)
+	}
+	if len(got) != 3 || got[0].Type != EvJobAdmitted || !got[2].Terminal {
+		t.Fatalf("terminal replay = %+v", got)
+	}
+}
+
+func TestJobStreamLiveUntilTerminal(t *testing.T) {
+	b := NewBus(0)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		b.ServeJobStream(w, r, r.PathValue("id"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	b.Publish(Event{Type: EvJobAdmitted, Job: "live"})
+	resp, err := http.Get(srv.URL + "/v1/jobs/live/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		b.Publish(Event{Type: EvJobStarted, Job: "live"})
+		b.Publish(Event{Type: EvJobStage, Job: "other"}) // must not leak in
+		b.Publish(Event{Type: EvJobDone, Job: "live", Terminal: true})
+	}()
+	var got []Event
+	if err := ReadSSE(bufio.NewReader(resp.Body), func(ev SSEvent) error {
+		var e Event
+		if err := json.Unmarshal(ev.Data, &e); err != nil {
+			return err
+		}
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("ReadSSE: %v", err)
+	}
+	want := []string{EvJobAdmitted, EvJobStarted, EvJobDone}
+	if len(got) != 3 {
+		t.Fatalf("live stream = %+v", got)
+	}
+	for i, e := range got {
+		if e.Type != want[i] || e.Job != "live" {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+	var last uint64
+	for _, e := range got {
+		if e.Seq <= last {
+			t.Fatalf("non-monotonic stream seq %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+	}
+}
+
+func TestReadSSEIgnoresCommentsAndHeartbeats(t *testing.T) {
+	stream := ": ping\n\nid: 3\nevent: job.done\ndata: {\"seq\":3,\"ts\":\"2026-01-01T00:00:00Z\",\"type\":\"job.done\",\"terminal\":true}\n\n: dropped 2\n\n"
+	var got []SSEvent
+	if err := ReadSSE(strings.NewReader(stream), func(ev SSEvent) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 3 || got[0].Type != "job.done" {
+		t.Fatalf("parsed %+v", got)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"twoecss/internal/obs"
 )
 
 // State is a shard's position in the router's health state machine:
@@ -126,8 +128,10 @@ func (sh *shard) eligible(now time.Time) bool {
 
 // reportSuccess is the passive close of the breaker: any successful
 // response (or probe) restores the shard to healthy and resets the backoff
-// ladder.
-func (sh *shard) reportSuccess(cfg Config, dur time.Duration) {
+// ladder. It reports whether this call recovered the shard — a transition
+// from any out-of-rotation state back to healthy — so the caller can emit
+// exactly one recovery event per outage.
+func (sh *shard) reportSuccess(cfg Config, dur time.Duration) (recovered bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.successes++
@@ -137,6 +141,7 @@ func (sh *shard) reportSuccess(cfg Config, dur time.Duration) {
 	sh.lastSeen = time.Now()
 	if sh.state != StateDraining || dur == 0 {
 		// A probe success (dur 0) on a draining shard means it came back.
+		recovered = sh.state != StateHealthy
 		sh.state = StateHealthy
 	}
 	if dur > 0 {
@@ -146,6 +151,7 @@ func (sh *shard) reportSuccess(cfg Config, dur time.Duration) {
 			sh.ewmaNs = 0.8*sh.ewmaNs + 0.2*float64(dur)
 		}
 	}
+	return recovered
 }
 
 // reportFailure counts a breaker-relevant failure (connect error or 5xx).
@@ -176,12 +182,16 @@ func (sh *shard) reportFailure(cfg Config, cause error) bool {
 
 // setDraining moves the shard out of new-request rotation without the
 // ejection penalty: its /healthz said "draining", which is deliberate.
-func (sh *shard) setDraining() {
+// Reports whether this call changed the state, so repeated drain probes
+// produce one event, not a stream.
+func (sh *shard) setDraining() bool {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	changed := sh.state != StateDraining
 	sh.state = StateDraining
 	sh.lastErr = ""
 	sh.lastSeen = time.Now()
+	return changed
 }
 
 // probe is one active health check. It feeds the same breaker as live
@@ -192,7 +202,7 @@ func (rt *Router) probe(sh *shard) {
 	resp, err := client.Get(sh.addr + "/healthz")
 	if err != nil {
 		if sh.reportFailure(rt.cfg, err) {
-			rt.noteEjection()
+			rt.noteEjection(sh, err)
 		}
 		return
 	}
@@ -203,12 +213,17 @@ func (rt *Router) probe(sh *shard) {
 	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<10)).Decode(&body)
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		sh.reportSuccess(rt.cfg, 0)
+		if sh.reportSuccess(rt.cfg, 0) {
+			rt.emit(obs.Event{Type: obs.EvRouterShardRecovered, Shard: sh.addr})
+		}
 	case resp.StatusCode == http.StatusServiceUnavailable && body.Status == "draining":
-		sh.setDraining()
+		if sh.setDraining() {
+			rt.emit(obs.Event{Type: obs.EvRouterShardDrain, Shard: sh.addr})
+		}
 	default:
-		if sh.reportFailure(rt.cfg, fmt.Errorf("healthz HTTP %d", resp.StatusCode)) {
-			rt.noteEjection()
+		err := fmt.Errorf("healthz HTTP %d", resp.StatusCode)
+		if sh.reportFailure(rt.cfg, err) {
+			rt.noteEjection(sh, err)
 		}
 	}
 }

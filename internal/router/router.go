@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"twoecss/internal/faults"
+	"twoecss/internal/obs"
 	"twoecss/internal/service"
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	// RetryJitter is the upper bound of the uniform random delay before
 	// each retry attempt, decorrelating retry storms (default 25ms).
 	RetryJitter time.Duration
+	// Obs is the router's observability hub (nil: a private one is
+	// created). The router publishes router.* events on its bus, registers
+	// its metrics, and — via the shard firehose aggregator — republishes
+	// every shard's events tagged with the origin shard address.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +119,10 @@ type Router struct {
 	shards []*shard
 	ring   *ring
 	client *http.Client
+	// o is the observability hub (never nil after New); forwardHist is the
+	// deliverable-forward latency histogram.
+	o           *obs.Obs
+	forwardHist *obs.Histogram
 
 	// p99 estimator over successful forward latencies, all shards pooled:
 	// EWMA mean and EWMA mean-absolute-deviation, sample-counted so the
@@ -148,7 +158,11 @@ func New(cfg Config, shardAddrs []string) (*Router, error) {
 		// wait=true solves legitimately block. Cancellation is per-request
 		// via context.
 		client: &http.Client{},
+		o:      cfg.Obs,
 		stop:   make(chan struct{}),
+	}
+	if rt.o == nil {
+		rt.o = obs.New()
 	}
 	seen := make(map[string]bool, len(shardAddrs))
 	ids := make([]string, 0, len(shardAddrs))
@@ -167,8 +181,13 @@ func New(cfg Config, shardAddrs []string) (*Router, error) {
 		})
 	}
 	rt.ring = newRing(ids, cfg.VNodes)
+	rt.registerMetrics()
 	rt.wg.Add(1)
 	go rt.prober()
+	for _, sh := range rt.shards {
+		rt.wg.Add(1)
+		go rt.aggregate(sh)
+	}
 	return rt, nil
 }
 
@@ -180,9 +199,19 @@ func (rt *Router) Close() {
 
 // MarkDraining flips the router's own /healthz to 503 draining; forwarding
 // continues so in-flight and straggler requests still get answers.
-func (rt *Router) MarkDraining() { rt.draining.Store(true) }
+func (rt *Router) MarkDraining() {
+	rt.draining.Store(true)
+	rt.emit(obs.Event{Type: obs.EvRouterDrain})
+}
 
-func (rt *Router) noteEjection() { rt.ejections.Add(1) }
+func (rt *Router) noteEjection(sh *shard, cause error) {
+	rt.ejections.Add(1)
+	e := obs.Event{Type: obs.EvRouterEject, Shard: sh.addr}
+	if cause != nil {
+		e.Err = cause.Error()
+	}
+	rt.emit(e)
+}
 
 // candidates returns the key's eligible shards in ring preference order:
 // the replica set first, then the failover tail. Draining and ejected
@@ -273,8 +302,9 @@ func (a *attemptResult) breakerRelevant() bool {
 
 // attempt posts body to sh, buffering the full response. jitter delays the
 // send (retry decorrelation); a canceled context aborts both the delay and
-// the request.
-func (rt *Router) attempt(ctx context.Context, sh *shard, body []byte, hedged bool, jitter time.Duration, out chan<- *attemptResult) {
+// the request. Every attempt of one forward — retries and hedges included —
+// carries the same request id, so the shards' traces stitch into one.
+func (rt *Router) attempt(ctx context.Context, sh *shard, reqID string, body []byte, hedged bool, jitter time.Duration, out chan<- *attemptResult) {
 	res := &attemptResult{shard: sh, hedged: hedged}
 	if jitter > 0 {
 		t := time.NewTimer(time.Duration(rand.Int63n(int64(jitter))))
@@ -301,6 +331,7 @@ func (rt *Router) attempt(ctx context.Context, sh *shard, body []byte, hedged bo
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, reqID)
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		res.err = err
@@ -323,9 +354,10 @@ var errNoShard = errors.New("router: no healthy shard available")
 // attempt, bounded jittered retries on retryable failures, and one hedge
 // when the primary outlives the hedge trigger. First deliverable response
 // wins; canceling ctx (the deferred cancel on return) aborts the losers.
-func (rt *Router) forward(ctx context.Context, body []byte, cands []*shard) (*attemptResult, error) {
+func (rt *Router) forward(ctx context.Context, reqID string, body []byte, cands []*shard) (*attemptResult, error) {
 	if len(cands) == 0 {
 		rt.noShard.Add(1)
+		rt.emit(obs.Event{Type: obs.EvRouterNoShard, Req: reqID})
 		return nil, errNoShard
 	}
 	maxAttempts := len(cands)
@@ -337,11 +369,15 @@ func (rt *Router) forward(ctx context.Context, body []byte, cands []*shard) (*at
 
 	results := make(chan *attemptResult, maxAttempts)
 	next, inflight := 0, 0
+	// pending tracks launched-but-unfinished attempts so the winner can
+	// name the losers its deferred cancel kills (router.attempt_canceled).
+	pending := make(map[*shard]bool, maxAttempts)
 	launch := func(hedged bool, jitter time.Duration) {
 		sh := cands[next]
 		next++
 		inflight++
-		go rt.attempt(ctx, sh, body, hedged, jitter, results)
+		pending[sh] = true
+		go rt.attempt(ctx, sh, reqID, body, hedged, jitter, results)
 	}
 	launch(false, 0)
 
@@ -357,16 +393,27 @@ func (rt *Router) forward(ctx context.Context, body []byte, cands []*shard) (*at
 		select {
 		case res := <-results:
 			inflight--
+			delete(pending, res.shard)
 			if res.deliverable() {
-				res.shard.reportSuccess(rt.cfg, res.dur)
+				if recovered := res.shard.reportSuccess(rt.cfg, res.dur); recovered {
+					rt.emit(obs.Event{Type: obs.EvRouterShardRecovered, Shard: res.shard.addr})
+				}
 				if res.status < 300 {
 					rt.observeLatency(res.dur)
+					rt.forwardHist.Observe(res.dur.Seconds())
 				}
 				if res.hedged {
 					rt.hedgesWon.Add(1)
 					res.shard.mu.Lock()
 					res.shard.hedgesWon++
 					res.shard.mu.Unlock()
+					rt.emit(obs.Event{Type: obs.EvRouterHedgeWon, Req: reqID, Shard: res.shard.addr,
+						MS: float64(res.dur) / float64(time.Millisecond)})
+				}
+				// The deferred cancel aborts every still-running loser; name
+				// them so a hedged request's fate is fully narrated.
+				for sh := range pending {
+					rt.emit(obs.Event{Type: obs.EvRouterAttemptCanceled, Req: reqID, Shard: sh.addr})
 				}
 				return res, nil
 			}
@@ -379,16 +426,20 @@ func (rt *Router) forward(ctx context.Context, body []byte, cands []*shard) (*at
 			}
 			if res.breakerRelevant() {
 				if res.shard.reportFailure(rt.cfg, failureCause(res)) {
-					rt.noteEjection()
+					rt.noteEjection(res.shard, failureCause(res))
 				}
 			} else if res.status == http.StatusServiceUnavailable {
 				// The shard told us it is draining; believe it immediately
 				// instead of waiting for the next probe round.
-				res.shard.setDraining()
+				if res.shard.setDraining() {
+					rt.emit(obs.Event{Type: obs.EvRouterShardDrain, Shard: res.shard.addr})
+				}
 			}
 			last = res
 			if next < maxAttempts {
 				rt.retries.Add(1)
+				rt.emit(obs.Event{Type: obs.EvRouterRetry, Req: reqID, Shard: cands[next].addr,
+					Err: failureCause(res).Error()})
 				launch(false, rt.cfg.RetryJitter)
 			} else if inflight == 0 {
 				return last, nil
@@ -397,6 +448,7 @@ func (rt *Router) forward(ctx context.Context, body []byte, cands []*shard) (*at
 			hedgeC = nil
 			if next < maxAttempts {
 				rt.hedges.Add(1)
+				rt.emit(obs.Event{Type: obs.EvRouterHedge, Req: reqID, Shard: cands[next].addr})
 				launch(true, 0)
 			}
 		case <-ctx.Done():
@@ -414,21 +466,38 @@ func failureCause(res *attemptResult) error {
 
 // Handler returns the router's HTTP API, a drop-in superset of one shard's:
 //
-//	POST /v1/solve     routed by content hash, retried/hedged across shards
-//	GET  /v1/jobs/{id} fanned out to eligible shards, first hit wins
-//	GET  /v1/stats     router + per-shard health and counters
-//	GET  /healthz      200 while >=1 shard is eligible, else (or draining) 503
+//	POST /v1/solve            routed by content hash, retried/hedged across shards
+//	GET  /v1/jobs/{id}        fanned out to eligible shards, first hit wins
+//	GET  /v1/jobs/{id}/stream per-job SSE, proxied from the owning shard
+//	GET  /v1/jobs/{id}/trace  job event timeline, fanned out like job lookups
+//	GET  /v1/events           aggregated firehose: router events + every
+//	                          shard's events tagged with the origin shard
+//	GET  /v1/stats            router + per-shard health and counters
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             200 while >=1 shard is eligible, else (or draining) 503
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", rt.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", rt.handleJobStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", rt.handleJobTrace)
+	mux.HandleFunc("GET /v1/events", rt.o.Bus.ServeFirehose)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.Handle("GET /metrics", rt.o.Metrics.Handler())
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	return mux
 }
 
 func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	rt.requests.Add(1)
+	// The router is usually the first tier to see the request: mint the
+	// trace id here (or adopt the client's) so every shard attempt of this
+	// forward shares it, and echo it on all responses including errors.
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
 	if err := faults.Point("router.forward"); err != nil {
 		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 		return
@@ -448,7 +517,7 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad graph: " + err.Error()})
 		return
 	}
-	res, err := rt.forward(r.Context(), body, rt.candidates(keyPoint(g.Hash())))
+	res, err := rt.forward(r.Context(), reqID, body, rt.candidates(keyPoint(g.Hash())))
 	switch {
 	case errors.Is(err, errNoShard):
 		w.Header().Set("Retry-After", "1")
@@ -467,12 +536,17 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // relay writes a buffered backend response to the client, preserving the
-// contract-bearing headers (Retry-After on 429/503 in particular).
+// contract-bearing headers (Retry-After on 429/503 in particular) and
+// naming the shard whose attempt won so job ids — shard-local — can be
+// followed up against the right backend.
 func relay(w http.ResponseWriter, res *attemptResult) {
 	for _, h := range []string{"Content-Type", "Retry-After"} {
 		if v := res.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
+	}
+	if res.shard != nil {
+		w.Header().Set(obs.ShardHeader, res.shard.addr)
 	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)
@@ -481,13 +555,23 @@ func relay(w http.ResponseWriter, res *attemptResult) {
 // handleJob resolves a job id by asking each eligible shard in turn: job
 // ids are shard-local, so the router fans out and relays the first hit.
 func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+	rt.fanoutGet(w, r, "/v1/jobs/"+r.PathValue("id"))
+}
+
+// handleJobTrace fans a trace lookup out exactly like a job lookup.
+func (rt *Router) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	rt.fanoutGet(w, r, "/v1/jobs/"+r.PathValue("id")+"/trace")
+}
+
+// fanoutGet relays the first shard 200 for path, trying eligible shards in
+// id order (job ids are shard-local; at most one shard knows any given id).
+func (rt *Router) fanoutGet(w http.ResponseWriter, r *http.Request, path string) {
 	now := time.Now()
 	for _, sh := range rt.shards {
 		if !sh.eligible(now) {
 			continue
 		}
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, sh.addr+"/v1/jobs/"+id, nil)
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, sh.addr+path, nil)
 		if err != nil {
 			continue
 		}
@@ -500,10 +584,10 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 		if rerr != nil || resp.StatusCode != http.StatusOK {
 			continue
 		}
-		relay(w, &attemptResult{status: resp.StatusCode, header: resp.Header, body: body})
+		relay(w, &attemptResult{shard: sh, status: resp.StatusCode, header: resp.Header, body: body})
 		return
 	}
-	writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown job %q on any shard", id)})
+	writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("%q not found on any shard", path)})
 }
 
 // Stats is the router's /v1/stats document: its own routing counters plus

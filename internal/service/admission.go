@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"slices"
 	"time"
+
+	"twoecss/internal/obs"
 )
 
 // Priority is a job's admission class. Higher values are served first and
@@ -62,6 +64,12 @@ type Admit struct {
 	// all left is dropped and its slot freed. A single non-cancelable
 	// submission (fire-and-poll clients) pins the job to run regardless.
 	Cancelable bool
+	// RequestID is the trace id of this submission (obs.RequestIDHeader),
+	// minted by the HTTP layer when the client or router did not supply
+	// one. It is stamped on every event the resulting job emits; a
+	// coalesced or cached submission's id appears on the serving event even
+	// though the job keeps its creator's id.
+	RequestID string
 }
 
 // ClassStats is the per-priority-class slice of the service counters.
@@ -146,6 +154,17 @@ func (s *Service) failDequeuedLocked(j *Job, cause error) {
 	delete(s.inflight, j.key)
 	s.retire(j)
 	close(j.done)
+	typ := obs.EvJobFailed
+	switch {
+	case errors.Is(cause, ErrDeadlineExceeded):
+		typ = obs.EvJobExpired
+	case errors.Is(cause, ErrShed):
+		typ = obs.EvJobShed
+	case errors.Is(cause, ErrCanceled):
+		typ = obs.EvJobCanceled
+	}
+	s.emit(obs.Event{Type: typ, Job: j.id, Req: j.req, Class: j.priority.String(),
+		Err: cause.Error(), Terminal: true})
 }
 
 // shedExpiredLocked drops every queued job whose deadline has passed,

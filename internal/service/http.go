@@ -12,6 +12,7 @@ import (
 	"twoecss/internal/ecss"
 	"twoecss/internal/faults"
 	"twoecss/internal/graph"
+	"twoecss/internal/obs"
 	"twoecss/internal/tap"
 )
 
@@ -179,6 +180,10 @@ type JobResponse struct {
 	JobID  string `json:"job_id"`
 	Status Status `json:"status"`
 	Phase  string `json:"phase,omitempty"`
+	// RequestID is the trace id: on solve responses, the submitting
+	// request's own id (even when an older cached job serves it); on job
+	// lookups, the id the job was created under.
+	RequestID string `json:"request_id,omitempty"`
 	// Cached is set on solve responses served from the result cache or an
 	// in-flight coalesce.
 	Cached bool   `json:"cached,omitempty"`
@@ -206,7 +211,7 @@ func (s *Service) snapshot(j *Job) JobResponse {
 }
 
 func (s *Service) snapshotLocked(j *Job) JobResponse {
-	r := JobResponse{JobID: j.id, Status: j.status, Phase: j.phase}
+	r := JobResponse{JobID: j.id, Status: j.status, Phase: j.phase, RequestID: j.req}
 	if j.err != nil {
 		r.Error = j.err.Error()
 	}
@@ -219,15 +224,23 @@ func (s *Service) snapshotLocked(j *Job) JobResponse {
 
 // Handler returns the service's HTTP JSON API:
 //
-//	POST /v1/solve     submit a solve ({graph, options, wait})
-//	GET  /v1/jobs/{id} job status and result
-//	GET  /v1/stats     service counters
-//	GET  /healthz      readiness: 200 while serving, 503 once draining
+//	POST /v1/solve            submit a solve ({graph, options, wait})
+//	GET  /v1/jobs/{id}        job status and result
+//	GET  /v1/jobs/{id}/stream job lifecycle as SSE, closed at the terminal event
+//	GET  /v1/jobs/{id}/trace  job event timeline as JSON
+//	GET  /v1/events           process event firehose as SSE (?types= filter)
+//	GET  /v1/stats            service counters
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             readiness: 200 while serving, 503 once draining
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/events", s.o.Bus.ServeFirehose)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.o.Metrics.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -244,6 +257,14 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	// Adopt the caller's request id (router-forwarded attempts share one) or
+	// mint one; echo it on every response, including errors, so the client
+	// can always correlate.
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
 	if err := faults.Point("http.solve"); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -264,7 +285,7 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad options: %w", err))
 		return
 	}
-	adm := Admit{Cancelable: req.Wait}
+	adm := Admit{Cancelable: req.Wait, RequestID: reqID}
 	if adm.Priority, err = ParsePriority(req.Priority); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -313,6 +334,9 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := s.snapshot(job)
 	resp.Cached = hit
+	// The job may have been created by an earlier request; this response
+	// still belongs to the submitting request's trace.
+	resp.RequestID = reqID
 	if resp.Status == StatusDone || resp.Status == StatusFailed {
 		code = http.StatusOK
 	}

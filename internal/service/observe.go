@@ -1,0 +1,159 @@
+package service
+
+// This file is the service's observability wiring (DESIGN.md §11):
+// lifecycle events published on the shared obs.Bus, a scrape-time metrics
+// collector that absorbs the existing Stats counters into /metrics without
+// double bookkeeping, and the HTTP surfaces for streaming — the process
+// firehose, per-job SSE streams, and per-job trace timelines.
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"time"
+
+	"twoecss/internal/obs"
+)
+
+// Obs returns the service's observability hub (never nil after New), so
+// the daemon can mount the firehose and share one bus with the store.
+func (s *Service) Obs() *obs.Obs { return s.o }
+
+// emit publishes a lifecycle event. Safe to call with or without s.mu: the
+// bus takes only its own lock and never calls back into the service.
+func (s *Service) emit(e obs.Event) { s.o.Bus.Publish(e) }
+
+// keyPrefix renders a short content-address prefix for events. Full keys
+// are 64 hex chars and belong in the store index, not the firehose.
+func keyPrefix(k Key) string { return hex.EncodeToString(k[:6]) }
+
+// observeStage records one pipeline stage's wall time. The registry getter
+// is get-or-create, so stages appear as they are first exercised.
+func (s *Service) observeStage(stage string, d time.Duration) {
+	s.o.Metrics.Histogram("ecss_solve_stage_seconds",
+		"Wall time per solver pipeline stage.", nil, obs.L("stage", stage)).
+		Observe(d.Seconds())
+}
+
+// registerMetrics creates the service's native instruments and registers
+// the collector that exports the Stats snapshot at scrape time.
+func (s *Service) registerMetrics() {
+	m := s.o.Metrics
+	s.solveHist = m.Histogram("ecss_solve_seconds",
+		"Solve wall time from worker pickup to terminal state.", nil)
+	m.Collect(func(emit func(obs.Sample)) {
+		st := s.Stats()
+		c := func(name, help string, v float64, labels ...obs.Label) {
+			emit(obs.Sample{Name: name, Help: help, Type: "counter", Value: v, Labels: labels})
+		}
+		g := func(name, help string, v float64, labels ...obs.Label) {
+			emit(obs.Sample{Name: name, Help: help, Type: "gauge", Value: v, Labels: labels})
+		}
+		c("ecss_jobs_submitted_total", "Submissions passing input validation.", float64(st.Submitted))
+		c("ecss_jobs_completed_total", "Jobs whose solve finished successfully.", float64(st.Completed))
+		c("ecss_jobs_failed_total", "Jobs whose solve failed terminally.", float64(st.Failed))
+		c("ecss_solves_total", "Jobs that executed the solver pipeline.", float64(st.Solves))
+		c("ecss_solve_retries_total", "Extra solve attempts after retryable failures.", float64(st.Retries))
+		c("ecss_panics_recovered_total", "Solver panics converted to per-job errors.", float64(st.PanicsRecovered))
+		c("ecss_cache_hits_total", "Submissions served from the in-memory result cache.", float64(st.CacheHits))
+		c("ecss_coalesced_total", "Submissions attached to an identical in-flight job.", float64(st.Coalesced))
+		c("ecss_store_hits_total", "Submissions served from the disk store on a memory miss.", float64(st.StoreHits))
+		c("ecss_rejected_total", "Admission rejections by reason.", float64(st.RejectedFull), obs.L("reason", "queue_full"))
+		c("ecss_rejected_total", "Admission rejections by reason.", float64(st.RejectedDraining), obs.L("reason", "draining"))
+		g("ecss_queue_depth", "Jobs admitted but not yet picked up by a worker.", float64(st.QueueDepth))
+		g("ecss_inflight", "Distinct content keys queued or being solved.", float64(st.Inflight))
+		g("ecss_cache_entries", "Entries in the in-memory result cache.", float64(st.CacheEntries))
+		c("ecss_pool_creates_total", "Networks built because the pool had no twin.", float64(st.Pool.Creates))
+		c("ecss_pool_reuses_total", "Solves served by a pooled network.", float64(st.Pool.Reuses))
+		c("ecss_pool_evictions_total", "Idle networks closed to respect the pool bound.", float64(st.Pool.Evictions))
+		g("ecss_pool_idle", "Idle networks held by the pool.", float64(st.Pool.Idle))
+		for class, cs := range st.Classes {
+			l := obs.L("class", class)
+			c("ecss_class_submitted_total", "Submissions per priority class.", float64(cs.Submitted), l)
+			g("ecss_class_queued", "Currently queued jobs per priority class.", float64(cs.Queued), l)
+			c("ecss_class_shed_total", "Queued jobs shed for higher-priority admissions.", float64(cs.Shed), l)
+			c("ecss_class_expired_total", "Jobs dropped past their deadline.", float64(cs.Expired), l)
+			c("ecss_class_canceled_total", "Queued jobs abandoned by every watcher.", float64(cs.Canceled), l)
+			c("ecss_class_rejected_full_total", "Queue-full rejections per class.", float64(cs.RejectedFull), l)
+		}
+		if ss := st.Store; ss != nil {
+			c("ecss_store_gets_total", "Store lookups by outcome.", float64(ss.Hits), obs.L("outcome", "hit"))
+			c("ecss_store_gets_total", "Store lookups by outcome.", float64(ss.Misses), obs.L("outcome", "miss"))
+			c("ecss_store_puts_total", "Entries accepted for write.", float64(ss.Puts))
+			c("ecss_store_dup_puts_total", "Writes skipped: content already stored.", float64(ss.DupPuts))
+			c("ecss_store_evictions_total", "Entries evicted to respect the byte budget.", float64(ss.Evictions))
+			c("ecss_store_corruptions_total", "Damaged entries or index records detected.", float64(ss.Corruptions))
+			c("ecss_store_write_errors_total", "Puts the writer could not persist.", float64(ss.WriteErrors))
+			c("ecss_store_quarantined_total", "Entry files moved into quarantine.", float64(ss.Quarantined))
+			c("ecss_store_restored_total", "Quarantined entries proved intact and restored.", float64(ss.Restored))
+			c("ecss_store_reverify_deleted_total", "Quarantined files deleted after repeated failures.", float64(ss.ReverifyDeleted))
+			g("ecss_store_entries", "Live on-disk entries.", float64(ss.Entries))
+			g("ecss_store_bytes", "Live on-disk payload bytes.", float64(ss.Bytes))
+		}
+		for point, ps := range st.Faults {
+			l := obs.L("point", point)
+			c("ecss_fault_hits_total", "Fault-point traversals while a plan is armed.", float64(ps.Hits), l)
+			c("ecss_fault_fires_total", "Faults actually injected.", float64(ps.Fires), l)
+		}
+	})
+}
+
+// TraceResponse is the JSON view of one job's event timeline at
+// GET /v1/jobs/{id}/trace.
+type TraceResponse struct {
+	JobID string `json:"job_id"`
+	// RequestID is the id the job's trace began under ("" for jobs adopted
+	// at pre-warm, or when the trace has been evicted).
+	RequestID string `json:"request_id,omitempty"`
+	// Complete reports whether the trace ends in a terminal event. False
+	// also covers evicted traces: Events then narrates less than the whole
+	// lifecycle.
+	Complete bool        `json:"complete"`
+	Events   []obs.Event `json:"events"`
+}
+
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.JobInfo(id); !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	tr := s.o.Bus.Trace(id)
+	resp := TraceResponse{JobID: id, Events: tr}
+	if len(tr) > 0 {
+		resp.RequestID = tr[0].Req
+		resp.Complete = tr[len(tr)-1].Terminal
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var terminal bool
+	var ev obs.Event
+	if ok {
+		terminal = j.status == StatusDone || j.status == StatusFailed
+		if terminal {
+			ev = obs.Event{Type: obs.EvJobDone, Job: j.id, Req: j.req, Class: j.priority.String(),
+				MS: float64(j.finished.Sub(j.started)) / float64(time.Millisecond), Terminal: true}
+			if j.err != nil {
+				ev.Type, ev.Err = obs.EvJobFailed, j.err.Error()
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if terminal && len(s.o.Bus.Trace(id)) == 0 {
+		// The job finished but its trace has been evicted: still honor the
+		// contract that a stream ends in a terminal event by synthesizing
+		// one from the job record instead of hanging on a silent bus.
+		obs.ServeOneEvent(w, ev)
+		return
+	}
+	s.o.Bus.ServeJobStream(w, r, id)
+}

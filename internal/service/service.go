@@ -23,6 +23,7 @@ import (
 	"twoecss/internal/ecss"
 	"twoecss/internal/faults"
 	"twoecss/internal/graph"
+	"twoecss/internal/obs"
 	"twoecss/internal/store"
 )
 
@@ -50,6 +51,11 @@ type Config struct {
 	// fall back to the store before solving. The service takes ownership:
 	// Drain flushes pending writes and closes it.
 	Store *store.Store
+	// Obs is the process observability hub the service publishes lifecycle
+	// events and metrics into (nil: the service creates a private one, so
+	// events and /metrics always work). Share one Obs between the store and
+	// the service so a single firehose carries both subsystems.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +93,10 @@ type Job struct {
 	id    string
 	key   Key
 	ghash [32]byte
+	// req is the request id of the submission that created the job (minted
+	// at admission or propagated from the router); stamped on every event
+	// the job emits so a trace reads as one client request end to end.
+	req string
 
 	g   *graph.Graph // released once the solve starts
 	opt ecss.Options
@@ -194,6 +204,10 @@ type Service struct {
 	cfg   Config
 	pool  *NetworkPool
 	store *store.Store // nil: no persistence
+	// o is the observability hub (never nil after New); solveHist is the
+	// pickup-to-terminal solve latency histogram, created once at startup.
+	o         *obs.Obs
+	solveHist *obs.Histogram
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signaled on enqueue and at drain
@@ -230,11 +244,16 @@ func New(cfg Config) *Service {
 		cfg:      cfg,
 		pool:     NewNetworkPool(cfg.PoolEntries),
 		store:    cfg.Store,
+		o:        cfg.Obs,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[Key]*Job),
 		cache:    newJobCache(cfg.CacheEntries),
 	}
+	if s.o == nil {
+		s.o = obs.New()
+	}
 	s.cond = sync.NewCond(&s.mu)
+	s.registerMetrics()
 	if s.store != nil && cfg.CacheEntries > 0 {
 		// Recent returns MRU-first; insert oldest-first so the memory
 		// cache's LRU order mirrors the store's.
@@ -242,7 +261,7 @@ func New(cfg Config) *Service {
 		s.mu.Lock()
 		for i := len(warm) - 1; i >= 0; i-- {
 			e := warm[i]
-			s.adoptStoredLocked(Key(e.Key), e.GraphHash, e.Payload)
+			s.adoptStoredLocked(Key(e.Key), e.GraphHash, e.Payload, "")
 		}
 		s.mu.Unlock()
 	}
@@ -254,15 +273,17 @@ func New(cfg Config) *Service {
 }
 
 // adoptStoredLocked wraps a store payload in a terminal job — addressable
-// via JobInfo, served from the memory cache — without a solve. Caller holds
-// s.mu.
-func (s *Service) adoptStoredLocked(key Key, ghash [32]byte, payload []byte) *Job {
+// via JobInfo, served from the memory cache — without a solve. req is the
+// request id of the triggering submission ("" for pre-warm adoption at
+// startup). Caller holds s.mu.
+func (s *Service) adoptStoredLocked(key Key, ghash [32]byte, payload []byte, req string) *Job {
 	s.seq++
 	now := time.Now()
 	j := &Job{
 		id:         fmt.Sprintf("j%08d", s.seq),
 		key:        key,
 		ghash:      ghash,
+		req:        req,
 		status:     StatusDone,
 		created:    now,
 		started:    now,
@@ -274,6 +295,9 @@ func (s *Service) adoptStoredLocked(key Key, ghash [32]byte, payload []byte) *Jo
 	if evicted := s.cache.put(key, j); evicted != nil {
 		s.retire(evicted)
 	}
+	// The job is born terminal: one cached event is its whole trace, so a
+	// per-job stream replays it and closes immediately.
+	s.emit(obs.Event{Type: obs.EvJobCached, Job: j.id, Req: req, Key: keyPrefix(key), Terminal: true})
 	return j
 }
 
@@ -349,6 +373,7 @@ func (s *Service) SubmitWith(g *graph.Graph, opt ecss.Options, adm Admit) (*Job,
 	}
 	if j, ok := s.cache.get(key); ok {
 		s.stats.CacheHits++
+		s.emit(obs.Event{Type: obs.EvJobCached, Job: j.id, Req: adm.RequestID, Key: keyPrefix(key), Terminal: true})
 		return j, true, nil
 	}
 	if s.store != nil {
@@ -370,16 +395,19 @@ func (s *Service) SubmitWith(g *graph.Graph, opt ecss.Options, adm Admit) (*Job,
 		}
 		if j, ok := s.cache.get(key); ok {
 			s.stats.CacheHits++
+			s.emit(obs.Event{Type: obs.EvJobCached, Job: j.id, Req: adm.RequestID, Key: keyPrefix(key), Terminal: true})
 			return j, true, nil
 		}
 		if found {
 			s.stats.StoreHits++
-			return s.adoptStoredLocked(key, ghash, payload), true, nil
+			return s.adoptStoredLocked(key, ghash, payload, adm.RequestID), true, nil
 		}
 	}
 	now := time.Now()
 	if !adm.Deadline.IsZero() && !now.Before(adm.Deadline) {
 		s.classes[adm.Priority].Expired++
+		s.emit(obs.Event{Type: obs.EvJobExpired, Req: adm.RequestID, Class: adm.Priority.String(),
+			Err: "dead on arrival: " + ErrDeadlineExceeded.Error(), Terminal: true})
 		return nil, false, ErrDeadlineExceeded
 	}
 	if s.qlen >= s.cfg.QueueDepth {
@@ -395,6 +423,7 @@ func (s *Service) SubmitWith(g *graph.Graph, opt ecss.Options, adm Admit) (*Job,
 		id:         fmt.Sprintf("j%08d", s.seq),
 		key:        key,
 		ghash:      ghash,
+		req:        adm.RequestID,
 		g:          g,
 		opt:        opt,
 		priority:   adm.Priority,
@@ -411,6 +440,9 @@ func (s *Service) SubmitWith(g *graph.Graph, opt ecss.Options, adm Admit) (*Job,
 	s.jobs[j.id] = j
 	s.inflight[key] = j
 	s.enqueueLocked(j)
+	// Emitted under s.mu, which a worker needs to pop: job.admitted always
+	// precedes the job's own job.started on the bus.
+	s.emit(obs.Event{Type: obs.EvJobAdmitted, Job: j.id, Req: j.req, Class: adm.Priority.String(), Key: keyPrefix(key)})
 	return j, false, nil
 }
 
@@ -418,6 +450,7 @@ func (s *Service) SubmitWith(g *graph.Graph, opt ecss.Options, adm Admit) (*Job,
 // in-flight job: cancelable waiters are counted, and one non-cancelable
 // submission pins the job against autocancel for good. Caller holds s.mu.
 func (s *Service) attachLocked(j *Job, adm Admit) {
+	s.emit(obs.Event{Type: obs.EvJobCoalesced, Job: j.id, Req: adm.RequestID, Class: adm.Priority.String()})
 	if j.status != StatusQueued {
 		return
 	}
@@ -453,7 +486,10 @@ func (s *Service) worker() {
 		// must never look queued once the lock is released.
 		j.status = StatusRunning
 		j.started = time.Now()
+		wait := j.started.Sub(j.created)
 		s.mu.Unlock()
+		s.emit(obs.Event{Type: obs.EvJobStarted, Job: j.id, Req: j.req, Class: j.priority.String(),
+			MS: float64(wait) / float64(time.Millisecond)})
 		s.runJob(j)
 		s.mu.Lock()
 	}
@@ -467,20 +503,40 @@ func (s *Service) runJob(j *Job) {
 	g, opt := j.g, j.opt
 	s.mu.Unlock()
 
-	opt.Progress = func(stage string) {
+	// Stage accounting is attempt-local and touched only by this goroutine:
+	// Progress is invoked synchronously at stage starts, so the previous
+	// stage closes out at each transition (and after the attempt returns)
+	// without a lock.
+	var attemptStart, stageStart time.Time
+	var stage string
+	closeStage := func(now time.Time) {
+		if stage != "" {
+			s.observeStage(stage, now.Sub(stageStart))
+			stage = ""
+		}
+	}
+	opt.Progress = func(st string) {
 		// Panic and delay modes apply here (a returned error has nowhere to
 		// go mid-pipeline); a panic unwinds into solveOnce's recovery.
 		_ = faults.Point("solve.stage")
+		now := time.Now()
+		closeStage(now)
+		stage, stageStart = st, now
 		s.mu.Lock()
-		j.phase = stage
+		j.phase = st
 		s.mu.Unlock()
+		s.emit(obs.Event{Type: obs.EvJobStage, Job: j.id, Req: j.req, Stage: st,
+			MS: float64(now.Sub(attemptStart)) / float64(time.Millisecond)})
 	}
 
 	var raw []byte
 	var err error
 	backoff := retryBackoffBase
 	for attempt := 0; ; attempt++ {
+		attemptStart = time.Now()
+		stageStart = attemptStart
 		raw, err = s.solveOnce(j, g, opt)
+		closeStage(time.Now())
 		if err == nil || attempt >= maxSolveRetries || !retryable(err) {
 			break
 		}
@@ -488,6 +544,7 @@ func (s *Service) runJob(j *Job) {
 		s.stats.Retries++
 		j.phase = "retry-backoff"
 		s.mu.Unlock()
+		s.emit(obs.Event{Type: obs.EvJobRetry, Job: j.id, Req: j.req, Err: err.Error()})
 		time.Sleep(backoff)
 		backoff *= 2
 		if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
@@ -527,6 +584,18 @@ func (s *Service) runJob(j *Job) {
 	}
 	s.mu.Unlock()
 	close(j.done)
+	s.solveHist.Observe(dur / float64(time.Second))
+	typ := obs.EvJobDone
+	var errStr string
+	if err != nil {
+		errStr = err.Error()
+		typ = obs.EvJobFailed
+		if errors.Is(err, ErrDeadlineExceeded) {
+			typ = obs.EvJobExpired
+		}
+	}
+	s.emit(obs.Event{Type: typ, Job: j.id, Req: j.req, Class: j.priority.String(), Err: errStr,
+		MS: dur / float64(time.Millisecond), Terminal: true})
 }
 
 // solveOnce runs one pipeline attempt on a pooled network, converting
@@ -644,6 +713,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	// new job can slip in after it.
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.emit(obs.Event{Type: obs.EvServiceDrain})
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"twoecss/internal/faults"
+	"twoecss/internal/obs"
 )
 
 // Stats counts store traffic. It is embedded in the service's /v1/stats
@@ -88,6 +89,7 @@ type writeOp struct {
 type Store struct {
 	dir      string
 	maxBytes int64
+	bus      *obs.Bus // nil: events disabled
 
 	mu        sync.Mutex
 	entries   map[Key]*entry
@@ -121,6 +123,11 @@ type Options struct {
 	// are restored while the process lives instead of lingering until an
 	// operator looks.
 	ReverifyEvery time.Duration
+	// Bus, when non-nil, receives store.* lifecycle events (writes, write
+	// errors, evictions, quarantines, restores, reverify deletions). Pass
+	// the process bus so store events interleave with job events on one
+	// firehose.
+	Bus *obs.Bus
 }
 
 // Open creates or reopens the store rooted at dir, bounded to maxBytes of
@@ -152,6 +159,7 @@ func OpenWith(dir string, o Options) (*Store, error) {
 	s := &Store{
 		dir:      dir,
 		maxBytes: o.MaxBytes,
+		bus:      o.Bus,
 		entries:  make(map[Key]*entry),
 		ll:       list.New(),
 		strikes:  make(map[Key]int),
@@ -315,6 +323,15 @@ func verifyEntryFile(path string, key Key) (size int64, err error) {
 	return verifyBytes(b, key)
 }
 
+// emit publishes a store event when a bus is configured. Safe under s.mu:
+// the bus takes only its own lock and never calls back into the store.
+func (s *Store) emit(typ string, k Key, errStr string) {
+	if s.bus == nil {
+		return
+	}
+	s.bus.Publish(obs.Event{Type: typ, Key: hex.EncodeToString(k[:6]), Err: errStr})
+}
+
 // quarantineLocked moves the entry file for k aside for the reverifier to
 // re-examine. A missing source file — the stale-index-line case — has
 // nothing to move and is not a failure; any other rename error is counted
@@ -325,6 +342,7 @@ func (s *Store) quarantineLocked(k Key) {
 	switch err := os.Rename(s.objPath(k), s.quarantinePath(k)); {
 	case err == nil:
 		s.stats.Quarantined++
+		s.emit(obs.EvStoreQuarantine, k, "")
 	case os.IsNotExist(err):
 	default:
 		s.stats.QuarantineFails++
@@ -623,6 +641,7 @@ func (s *Store) applyPut(op writeOp) {
 		s.mu.Lock()
 		s.stats.WriteErrors++
 		s.mu.Unlock()
+		s.emit(obs.EvStoreWriteError, op.key, err.Error())
 		return
 	}
 
@@ -647,8 +666,10 @@ func (s *Store) applyPut(op writeOp) {
 		fmt.Fprint(s.indexF, lines.String())
 		_ = s.indexF.Sync()
 	}
+	s.emit(obs.EvStoreWrite, op.key, "")
 	for _, k := range victims {
 		os.Remove(s.objPath(k))
+		s.emit(obs.EvStoreEvict, k, "")
 	}
 }
 
@@ -803,6 +824,7 @@ func (s *Store) Reverify() (restored, deleted int) {
 				if os.Remove(qpath) == nil {
 					s.stats.ReverifyDeleted++
 					deleted++
+					s.emit(obs.EvStoreReverifyDrop, k, verr.Error())
 				}
 			}
 			s.mu.Unlock()
@@ -815,6 +837,7 @@ func (s *Store) Reverify() (restored, deleted int) {
 			os.Remove(qpath)
 			s.stats.Restored++
 			restored++
+			s.emit(obs.EvStoreRestore, k, "")
 			s.mu.Unlock()
 			continue
 		}
@@ -828,6 +851,7 @@ func (s *Store) Reverify() (restored, deleted int) {
 		s.bytes += size
 		s.stats.Restored++
 		restored++
+		s.emit(obs.EvStoreRestore, k, "")
 		atime := e.atime
 		s.mu.Unlock()
 		// Best-effort index record (appends happen only on the writer
