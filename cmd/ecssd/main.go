@@ -20,6 +20,10 @@
 // checksums and quarantining corrupt entries — and pre-warms the memory
 // cache, so previously solved instances are served byte-identically with no
 // new solves. -store-max-bytes bounds the on-disk size via LRU eviction.
+// Warm reads are served zero-copy from mmapped entry files. With
+// -store-read-only the directory is never mutated, so N shards can serve
+// one warm store concurrently (behind ecssrouter, say) while sharing the
+// mapped pages.
 //
 // SIGINT/SIGTERM triggers a graceful drain: admission stops (503), queued
 // jobs finish, the network pool is released, pending store writes are
@@ -78,6 +82,7 @@ func run() error {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	storeDir := flag.String("store-dir", "", "disk-backed result store directory (empty: results are not persisted)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "on-disk store budget, LRU-evicted (<=0: unbounded)")
+	storeReadOnly := flag.Bool("store-read-only", false, "open -store-dir read-only: serve a warm directory without writing, evicting, or quarantining (shareable across shards)")
 	reverify := flag.Duration("reverify", 0, "background store reverifier interval (0: disabled)")
 	debugAddr := flag.String("debug-addr", "", "pprof/debug listen address (empty: disabled)")
 	faultSpec := flag.String("faults", "", "fault-injection plan (overrides ECSS_FAULTS; see internal/faults)")
@@ -98,6 +103,9 @@ func run() error {
 	// to the same bus, so /v1/events interleaves both layers' lifecycles.
 	o := obs.New()
 
+	if *storeReadOnly && *storeDir == "" {
+		return errors.New("-store-read-only requires -store-dir")
+	}
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
@@ -105,13 +113,18 @@ func run() error {
 			MaxBytes:      *storeMaxBytes,
 			ReverifyEvery: *reverify,
 			Bus:           o.Bus,
+			ReadOnly:      *storeReadOnly,
 		})
 		if err != nil {
 			return fmt.Errorf("open store %s: %w", *storeDir, err)
 		}
+		mode := ""
+		if *storeReadOnly {
+			mode = " (read-only)"
+		}
 		sst := st.Stats()
-		log.Printf("ecssd: store %s: %d entries / %d bytes warm, %d quarantined",
-			*storeDir, sst.Entries, sst.Bytes, sst.Corruptions)
+		log.Printf("ecssd: store %s%s: %d entries / %d bytes warm, %d quarantined",
+			*storeDir, mode, sst.Entries, sst.Bytes, sst.Corruptions)
 	}
 	svc := service.New(service.Config{
 		QueueDepth:   *queue,

@@ -35,13 +35,16 @@ const (
 	EvJobCached    = "job.cached"
 	EvJobCoalesced = "job.coalesced"
 
-	// Result store.
-	EvStoreWrite        = "store.write"
-	EvStoreWriteError   = "store.write_error"
-	EvStoreEvict        = "store.evict"
-	EvStoreQuarantine   = "store.quarantine"
-	EvStoreRestore      = "store.restore"
-	EvStoreReverifyDrop = "store.reverify_delete"
+	// Result store. store.evict names each removed key; store.evict_pressure
+	// summarizes one eviction pass (Bytes reclaimed, Count victims, Budget
+	// enforced) so byte-pressure cycling is one event, not N.
+	EvStoreWrite         = "store.write"
+	EvStoreWriteError    = "store.write_error"
+	EvStoreEvict         = "store.evict"
+	EvStoreEvictPressure = "store.evict_pressure"
+	EvStoreQuarantine    = "store.quarantine"
+	EvStoreRestore       = "store.restore"
+	EvStoreReverifyDrop  = "store.reverify_delete"
 
 	// Routing tier.
 	EvRouterRetry           = "router.retry"
@@ -89,6 +92,11 @@ type Event struct {
 	// MS is a duration in milliseconds where one is meaningful (job.done,
 	// job.failed: solve wall time; job.stage: time since solve start).
 	MS float64 `json:"ms,omitempty"`
+	// Bytes, Count, and Budget carry the numeric payload of summary events
+	// (store.evict_pressure: bytes reclaimed, entries evicted, byte budget).
+	Bytes  int64 `json:"bytes,omitempty"`
+	Count  int   `json:"count,omitempty"`
+	Budget int64 `json:"budget,omitempty"`
 	// Terminal marks the event that ends a job's lifecycle; a per-job SSE
 	// stream closes after relaying it.
 	Terminal bool `json:"terminal,omitempty"`

@@ -13,6 +13,7 @@ import (
 	"twoecss/internal/faults"
 	"twoecss/internal/graph"
 	"twoecss/internal/obs"
+	"twoecss/internal/store"
 	"twoecss/internal/tap"
 )
 
@@ -193,7 +194,11 @@ type JobResponse struct {
 	Result    json.RawMessage `json:"result,omitempty"`
 }
 
-// JobInfo returns the current snapshot of a job by id.
+// JobInfo returns the current snapshot of a job by id. The result bytes
+// are safe to hold indefinitely: a store-backed job's result is copied out
+// of the pinned region, since the caller holds no pin of its own. The HTTP
+// handlers avoid that copy by retaining the job's view across the response
+// write instead.
 func (s *Service) JobInfo(id string) (JobResponse, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -201,13 +206,21 @@ func (s *Service) JobInfo(id string) (JobResponse, bool) {
 	if !ok {
 		return JobResponse{}, false
 	}
-	return s.snapshotLocked(j), true
+	r := s.snapshotLocked(j)
+	if j.view.Mapped() {
+		r.Result = slices.Clone(r.Result)
+	}
+	return r, true
 }
 
 func (s *Service) snapshot(j *Job) JobResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.snapshotLocked(j)
+	r := s.snapshotLocked(j)
+	if j.view.Mapped() {
+		r.Result = slices.Clone(r.Result)
+	}
+	return r
 }
 
 func (s *Service) snapshotLocked(j *Job) JobResponse {
@@ -332,7 +345,15 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.Abandon(job)
 		}
 	}
-	resp := s.snapshot(job)
+	// Snapshot with the job's store view pinned across the response write:
+	// the JSON encoder then reads the result straight out of the mapped
+	// region — no payload copy — even if the entry is evicted mid-write.
+	s.mu.Lock()
+	resp := s.snapshotLocked(job)
+	v := job.view
+	v.Retain()
+	s.mu.Unlock()
+	defer v.Release()
 	resp.Cached = hit
 	// The job may have been created by an earlier request; this response
 	// still belongs to the submitting request's trace.
@@ -344,11 +365,24 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
-	resp, ok := s.JobInfo(r.PathValue("id"))
+	// Like handleSolve: pin the job's store view across the write instead
+	// of copying the result out of the mapped region.
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var resp JobResponse
+	var v store.View
+	if ok {
+		resp = s.snapshotLocked(j)
+		v = j.view
+		v.Retain()
+	}
+	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
+	defer v.Release()
 	writeJSON(w, http.StatusOK, resp)
 }
 

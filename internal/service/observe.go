@@ -87,8 +87,16 @@ func (s *Service) registerMetrics() {
 			c("ecss_store_quarantined_total", "Entry files moved into quarantine.", float64(ss.Quarantined))
 			c("ecss_store_restored_total", "Quarantined entries proved intact and restored.", float64(ss.Restored))
 			c("ecss_store_reverify_deleted_total", "Quarantined files deleted after repeated failures.", float64(ss.ReverifyDeleted))
+			c("ecss_store_touch_drops_total", "Atime touch records dropped on a saturated writer queue.", float64(ss.TouchDrops))
 			g("ecss_store_entries", "Live on-disk entries.", float64(ss.Entries))
 			g("ecss_store_bytes", "Live on-disk payload bytes.", float64(ss.Bytes))
+			c("ecss_store_mmap_maps_total", "Object files mapped and checksum-verified for zero-copy serving.", float64(ss.Mmap.Maps))
+			c("ecss_store_mmap_fallbacks_total", "Reads served by a private heap copy because mmap was unavailable.", float64(ss.Mmap.Fallbacks))
+			c("ecss_store_mmap_pins_total", "View pins taken on mapped entries.", float64(ss.Mmap.Pins))
+			c("ecss_store_mmap_unpins_total", "View pins released.", float64(ss.Mmap.Unpins))
+			c("ecss_store_mmap_unmap_deferred_total", "Evictions that found the entry pinned and deferred cleanup to the last release.", float64(ss.Mmap.UnmapDeferred))
+			g("ecss_store_mmap_active", "Currently mapped object files, including doomed maps kept alive by pins.", float64(ss.Mmap.ActiveMaps))
+			g("ecss_store_mmap_bytes", "Bytes of currently mapped object files.", float64(ss.Mmap.MappedBytes))
 		}
 		for point, ps := range st.Faults {
 			l := obs.L("point", point)

@@ -119,8 +119,14 @@ type Job struct {
 	// ids are relative to the (possibly pooled-twin) graph the solve ran
 	// on, not necessarily the submitter's.
 	resultJSON []byte
-	err        error
-	done       chan struct{}
+	// view pins the store-backed bytes resultJSON aliases on jobs adopted
+	// from the disk store (zero for solved jobs, whose bytes are private).
+	// The job record owns the pin: it is released — and resultJSON cleared
+	// — when the job leaves the jobs table (retire overflow). Handlers that
+	// write the bytes after dropping s.mu take their own Retain.
+	view store.View
+	err  error
+	done chan struct{}
 }
 
 // ID returns the job's stable identifier.
@@ -261,7 +267,7 @@ func New(cfg Config) *Service {
 		s.mu.Lock()
 		for i := len(warm) - 1; i >= 0; i-- {
 			e := warm[i]
-			s.adoptStoredLocked(Key(e.Key), e.GraphHash, e.Payload, "")
+			s.adoptStoredLocked(Key(e.Key), e.GraphHash, e.View, "")
 		}
 		s.mu.Unlock()
 	}
@@ -272,11 +278,12 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// adoptStoredLocked wraps a store payload in a terminal job — addressable
-// via JobInfo, served from the memory cache — without a solve. req is the
-// request id of the triggering submission ("" for pre-warm adoption at
-// startup). Caller holds s.mu.
-func (s *Service) adoptStoredLocked(key Key, ghash [32]byte, payload []byte, req string) *Job {
+// adoptStoredLocked wraps a pinned store view in a terminal job —
+// addressable via JobInfo, served from the memory cache — without a solve
+// and, on the mmap path, without copying the payload: the job takes
+// ownership of the view's pin. req is the request id of the triggering
+// submission ("" for pre-warm adoption at startup). Caller holds s.mu.
+func (s *Service) adoptStoredLocked(key Key, ghash [32]byte, v store.View, req string) *Job {
 	s.seq++
 	now := time.Now()
 	j := &Job{
@@ -288,7 +295,8 @@ func (s *Service) adoptStoredLocked(key Key, ghash [32]byte, payload []byte, req
 		created:    now,
 		started:    now,
 		finished:   now,
-		resultJSON: payload,
+		resultJSON: v.Bytes(),
+		view:       v,
 		done:       closedDone,
 	}
 	s.jobs[j.id] = j
@@ -380,27 +388,32 @@ func (s *Service) SubmitWith(g *graph.Graph, opt ecss.Options, adm Admit) (*Job,
 		// The store lookup touches disk; release the admission mutex
 		// around it so concurrent Submits, Stats, and progress callbacks
 		// are never serialized behind a file read, then re-run the
-		// admission checks — the world may have moved meanwhile.
+		// admission checks — the world may have moved meanwhile. A hit
+		// returns a pinned zero-copy view; every path that does not adopt
+		// it must release the pin.
 		s.mu.Unlock()
-		payload, found := s.store.Get([32]byte(key))
+		v, found := s.store.GetView([32]byte(key))
 		s.mu.Lock()
 		if s.draining {
+			v.Release()
 			s.stats.RejectedDraining++
 			return nil, false, ErrDraining
 		}
 		if j, ok := s.inflight[key]; ok {
+			v.Release()
 			s.stats.Coalesced++
 			s.attachLocked(j, adm)
 			return j, true, nil
 		}
 		if j, ok := s.cache.get(key); ok {
+			v.Release()
 			s.stats.CacheHits++
 			s.emit(obs.Event{Type: obs.EvJobCached, Job: j.id, Req: adm.RequestID, Key: keyPrefix(key), Terminal: true})
 			return j, true, nil
 		}
 		if found {
 			s.stats.StoreHits++
-			return s.adoptStoredLocked(key, ghash, payload, adm.RequestID), true, nil
+			return s.adoptStoredLocked(key, ghash, v, adm.RequestID), true, nil
 		}
 	}
 	now := time.Now()
@@ -660,11 +673,20 @@ func retryable(err error) bool {
 }
 
 // retire keeps a terminal, uncached job addressable for a while, dropping
-// the oldest such job beyond the retention bound. Caller holds s.mu.
+// the oldest such job beyond the retention bound. Dropping a job releases
+// its store view pin (the job record owns it) and clears the aliasing
+// result bytes, so a stale *Job held across the drop can never read an
+// unmapped region — it just snapshots without a result. Caller holds s.mu.
 func (s *Service) retire(j *Job) {
 	s.retired = append(s.retired, j.id)
 	for len(s.retired) > retainFinished {
-		delete(s.jobs, s.retired[0])
+		id := s.retired[0]
+		if old, ok := s.jobs[id]; ok && old.view.Mapped() {
+			old.resultJSON = nil
+			old.view.Release()
+			old.view = store.View{}
+		}
+		delete(s.jobs, id)
 		s.retired = s.retired[1:]
 	}
 }
@@ -684,9 +706,8 @@ func (s *Service) Stats() Stats {
 		st.Classes[c.String()] = cs
 	}
 	s.mu.Unlock()
-	// The store mutex is held across disk reads (Get/Recent), so it is
-	// taken only after the admission mutex is released: a stats poll must
-	// never serialize Submits behind file I/O.
+	// The store has its own mutex; take it only after the admission mutex
+	// is released so the two never nest here.
 	if s.store != nil {
 		sst := s.store.Stats()
 		st.Store = &sst

@@ -259,6 +259,73 @@ func TestCorruptionUnderLiveTrafficHealed(t *testing.T) {
 	}
 }
 
+// TestReadOnlySharedServing covers the router-shard deployment shape: one
+// writable service fills a store directory, then two read-only services open
+// the same warm directory concurrently and both must serve every instance
+// byte-identically over HTTP with zero solver invocations and zero writes —
+// the directory (index and all) stays byte-for-byte untouched.
+func TestReadOnlySharedServing(t *testing.T) {
+	dir := t.TempDir()
+	const instances = 4
+
+	s1 := New(Config{Workers: 2, Store: openStore(t, dir, 0)})
+	srv1 := httptest.NewServer(s1.Handler())
+	first := make(map[int][]byte)
+	for seed := 1; seed <= instances; seed++ {
+		req := SolveRequest{Graph: WireGraph(testGraph(t, int64(seed))), Wait: true}
+		code, resp := postSolve(t, srv1, req)
+		if code != http.StatusOK || resp.Status != StatusDone {
+			t.Fatalf("seed %d cold solve: code=%d resp=%+v", seed, code, resp)
+		}
+		first[seed] = resp.Result
+	}
+	srv1.Close()
+	drain(t, s1)
+	indexBefore, err := os.ReadFile(filepath.Join(dir, "index.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	openRO := func() *store.Store {
+		st, err := store.OpenWith(dir, store.Options{ReadOnly: true})
+		if err != nil {
+			t.Fatalf("read-only open: %v", err)
+		}
+		return st
+	}
+	shards := []*Service{
+		New(Config{Workers: 1, Store: openRO()}),
+		New(Config{Workers: 1, Store: openRO()}),
+	}
+	for i, sh := range shards {
+		srv := httptest.NewServer(sh.Handler())
+		for seed := 1; seed <= instances; seed++ {
+			req := SolveRequest{Graph: WireGraph(testGraph(t, int64(seed))), Wait: true}
+			code, resp := postSolve(t, srv, req)
+			if code != http.StatusOK || resp.Status != StatusDone || !resp.Cached {
+				t.Fatalf("shard %d seed %d: code=%d resp=%+v", i, seed, code, resp)
+			}
+			if !bytes.Equal(resp.Result, first[seed]) {
+				t.Fatalf("shard %d seed %d result differs from the writer's bytes", i, seed)
+			}
+		}
+		srv.Close()
+		st := sh.Stats()
+		if st.Solves != 0 {
+			t.Fatalf("shard %d ran %d solves off a warm read-only store, want 0", i, st.Solves)
+		}
+		if st.Store.Puts != 0 {
+			t.Fatalf("shard %d issued %d puts against a read-only store", i, st.Store.Puts)
+		}
+	}
+	for _, sh := range shards {
+		drain(t, sh)
+	}
+	if after, err := os.ReadFile(filepath.Join(dir, "index.log")); err != nil || !bytes.Equal(indexBefore, after) {
+		t.Fatalf("read-only shards mutated the shared index (err=%v)", err)
+	}
+}
+
 // TestTortureConcurrentSubmitEvictDrain is the satellite race/torture test
 // (run under -race in CI): many goroutines hammer Submit — duplicate keys,
 // distinct keys, enough volume to trigger disk eviction — while Drain cuts

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import "errors"
+
+// errMmapUnsupported routes every read through the heap fallback on
+// platforms without a usable mmap; the store works identically, one copy
+// slower, and the Fallbacks counter says so.
+var errMmapUnsupported = errors.New("store: mmap unsupported on this platform")
+
+func mapFile(path string) ([]byte, error) { return nil, errMmapUnsupported }
+
+func unmapFile(data []byte) error { return nil }

@@ -1,0 +1,33 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the whole file at path read-only. MAP_SHARED keeps the pages
+// backed by the page cache, so N processes serving one store directory
+// (read-only shards) share a single physical copy of every warm entry. The
+// descriptor is closed immediately: the mapping outlives it.
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

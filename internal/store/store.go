@@ -54,9 +54,16 @@ type Stats struct {
 	// files deleted after failing verification reverifyStrikes times.
 	Restored        int64 `json:"restored"`
 	ReverifyDeleted int64 `json:"reverify_deleted"`
+	// TouchDrops counts atime touch records dropped because the writer
+	// queue was saturated: reads never block behind the writer, at the cost
+	// of eviction-order fidelity. A rising rate means LRU decisions are
+	// running on stale access times.
+	TouchDrops int64 `json:"touch_drops"`
 	// Entries and Bytes describe the live on-disk set.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
+	// Mmap counts the zero-copy read path (mmap.go).
+	Mmap MmapStats `json:"mmap"`
 }
 
 // ErrClosed reports an operation on a closed store.
@@ -67,6 +74,11 @@ type entry struct {
 	size  int64 // header + payload bytes on disk
 	atime int64 // unix nanoseconds of last recorded access
 	el    *list.Element
+	// pins counts off-lock loads of this entry's file in flight; eviction
+	// of a pinned entry sets doomed and defers the unlink to the last
+	// unpin instead of yanking the file out from under the read.
+	pins   int
+	doomed bool
 }
 
 // writeOp is one unit of work for the background writer: a put (payload
@@ -90,6 +102,11 @@ type Store struct {
 	dir      string
 	maxBytes int64
 	bus      *obs.Bus // nil: events disabled
+	// ro marks a read-only store (Options.ReadOnly): no writer, no index
+	// mutation, no eviction, no quarantine renames — N daemons can serve
+	// one warm directory. noMmap forces the heap fallback on every read.
+	ro     bool
+	noMmap bool
 
 	mu        sync.Mutex
 	entries   map[Key]*entry
@@ -98,6 +115,9 @@ type Store struct {
 	stats     Stats
 	indexF    *os.File
 	lastStamp int64 // high-water access-time stamp (see stampLocked)
+	// maps holds the live mmapped file images serving warm zero-copy hits;
+	// nil once the store is closed (later loads then map one-shot).
+	maps map[Key]*mapping
 	// strikes counts consecutive failed reverifications per quarantined
 	// key; at reverifyStrikes the file is deleted for good.
 	strikes map[Key]int
@@ -128,6 +148,16 @@ type Options struct {
 	// the process bus so store events interleave with job events on one
 	// firehose.
 	Bus *obs.Bus
+	// ReadOnly opens the store without mutating the directory in any way:
+	// no temp sweep, no index compaction or appends, no eviction, no
+	// quarantine renames, and Put/Reverify are rejected with ErrReadOnly.
+	// Several read-only stores (in one process or many) can serve a single
+	// warm directory concurrently; MaxBytes and ReverifyEvery are ignored.
+	ReadOnly bool
+	// NoMmap forces every read through the portable heap-copy path even
+	// where mmap is available — the fallback matrix knob for tests and
+	// benchmarks.
+	NoMmap bool
 }
 
 // Open creates or reopens the store rooted at dir, bounded to maxBytes of
@@ -144,35 +174,49 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 
 // OpenWith is Open with the full option set.
 func OpenWith(dir string, o Options) (*Store, error) {
-	for _, d := range []string{dir, filepath.Join(dir, "objects"), filepath.Join(dir, "quarantine")} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
+	if !o.ReadOnly {
+		for _, d := range []string{dir, filepath.Join(dir, "objects"), filepath.Join(dir, "quarantine")} {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
 		}
-	}
-	// Sweep temp files stranded by crashes mid-write; they live outside the
-	// byte budget and would otherwise accumulate across crash loops.
-	if strays, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
-		for _, p := range strays {
-			os.Remove(p)
+		// Sweep temp files stranded by crashes mid-write; they live outside
+		// the byte budget and would otherwise accumulate across crash loops.
+		if strays, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+			for _, p := range strays {
+				os.Remove(p)
+			}
 		}
 	}
 	s := &Store{
 		dir:      dir,
 		maxBytes: o.MaxBytes,
 		bus:      o.Bus,
+		ro:       o.ReadOnly,
+		noMmap:   o.NoMmap,
 		entries:  make(map[Key]*entry),
 		ll:       list.New(),
+		maps:     make(map[Key]*mapping),
 		strikes:  make(map[Key]int),
-		writeCh:  make(chan writeOp, 256),
-		done:     make(chan struct{}),
 	}
 	if err := s.scan(); err != nil {
 		return nil, err
 	}
+	if s.ro {
+		// A read-only opener owns nothing on disk: no writer goroutine, no
+		// index handle, no eviction — it serves whatever the scan verified.
+		return s, nil
+	}
+	s.writeCh = make(chan writeOp, 256)
+	s.done = make(chan struct{})
 	// Evict down to budget before compacting the index so the rewritten
 	// log lists exactly the surviving entries.
-	for _, k := range s.evictLocked(nil) {
+	ev := s.evictLocked(nil)
+	for _, k := range ev.victims {
 		os.Remove(s.objPath(k))
+	}
+	if ev.count > 0 {
+		s.emitEvictPressure(ev)
 	}
 	if err := s.rewriteIndex(); err != nil {
 		return nil, err
@@ -339,6 +383,12 @@ func (s *Store) emit(typ string, k Key, errStr string) {
 // next restart's scan re-examines it) instead of being silently dropped.
 // Caller holds s.mu (or is the single-threaded Open scan).
 func (s *Store) quarantineLocked(k Key) {
+	if s.ro {
+		// A read-only opener must not mutate a directory another daemon
+		// owns: the damaged entry is dropped from this opener's live set
+		// and left in place for the writable owner to quarantine.
+		return
+	}
 	switch err := os.Rename(s.objPath(k), s.quarantinePath(k)); {
 	case err == nil:
 		s.stats.Quarantined++
@@ -426,69 +476,20 @@ func parseIndexLine(line string) (k Key, op string, atime int64, ok bool) {
 	return k, op, atime, true
 }
 
-// Get returns the stored payload for key, or ok=false on a miss. The read
-// is verified end-to-end against the header checksum on every call; a file
-// that fails verification is quarantined and reported as a miss, and the
-// access time of a hit is recorded for LRU eviction.
+// Get returns the stored payload for key as a private copy, or ok=false on
+// a miss — GetView semantics with a payload-sized allocation on the mmap
+// path. Callers that can serve and release should prefer GetView.
 func (s *Store) Get(key Key) (payload []byte, ok bool) {
-	s.mu.Lock()
-	e, ok := s.entries[key]
+	v, ok := s.GetView(key)
 	if !ok {
-		s.stats.Misses++
-		s.mu.Unlock()
 		return nil, false
 	}
-	b, err := s.readVerifyLocked(e)
-	if err != nil {
-		s.stats.Misses++
-		s.mu.Unlock()
-		return nil, false
+	if !v.Mapped() {
+		return v.Bytes(), true
 	}
-	now := s.stampLocked()
-	e.atime = now
-	s.ll.MoveToFront(e.el)
-	s.stats.Hits++
-	s.mu.Unlock()
-	// Best-effort persistent atime: drop the record rather than block a
-	// read behind a saturated writer. Eviction order degrades gracefully.
-	s.closeMu.RLock()
-	if !s.closed {
-		select {
-		case s.writeCh <- writeOp{key: key, atime: now}:
-		default:
-		}
-	}
-	s.closeMu.RUnlock()
-	return b[HeaderSize:], true
-}
-
-// readVerifyLocked reads and verifies e's file, returning the full image
-// (header + payload). On any failure the entry is dropped and its file
-// quarantined; the caller reports a miss. Caller holds s.mu; reads stay
-// under the lock so eviction cannot unlink a file mid-read (entry payloads
-// are small canonical JSON).
-func (s *Store) readVerifyLocked(e *entry) ([]byte, error) {
-	var b []byte
-	// store.read simulates a transient read failure (EIO): the entry is
-	// quarantined exactly as a real one would be, and — since the file
-	// itself is intact — the reverifier later proves it clean and restores
-	// it. That loop is what the chaos smoke gates on.
-	err := faults.Point("store.read")
-	if err == nil {
-		b, err = os.ReadFile(s.objPath(e.key))
-	}
-	if err == nil {
-		if _, verr := verifyBytes(b, e.key); verr != nil {
-			err = verr
-		}
-	}
-	if err != nil {
-		s.stats.Corruptions++
-		s.dropLocked(e)
-		s.quarantineLocked(e.key)
-		return nil, err
-	}
-	return b, nil
+	b := slices.Clone(v.Bytes())
+	v.Release()
+	return b, true
 }
 
 // verifyBytes is verifyEntryFile over an already-read file image.
@@ -530,6 +531,9 @@ func (s *Store) Contains(key Key) bool {
 // must not mutate payload afterwards. A key already stored is recorded as a
 // duplicate and not rewritten (content addressing: same key, same bytes).
 func (s *Store) Put(key Key, graphHash, options [32]byte, payload []byte) error {
+	if s.ro {
+		return ErrReadOnly
+	}
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
@@ -545,8 +549,12 @@ func (s *Store) Put(key Key, graphHash, options [32]byte, payload []byte) error 
 }
 
 // Flush blocks until every Put enqueued before the call is durable on
-// disk (or the store is closed).
+// disk (or the store is closed). On a read-only store nothing is ever
+// pending, so Flush is a successful no-op.
 func (s *Store) Flush() error {
+	if s.ro {
+		return nil
+	}
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
@@ -579,13 +587,31 @@ func (s *Store) Close() error {
 	}
 	// All Put/Flush senders finished before closed was set (they hold the
 	// read lock across their send), so stop is the final op.
-	s.writeCh <- writeOp{stop: true}
-	<-s.done
+	if !s.ro {
+		s.writeCh <- writeOp{stop: true}
+		<-s.done
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	err := s.indexF.Sync()
-	if cerr := s.indexF.Close(); err == nil {
-		err = cerr
+	// Unmap whatever no reader still pins; pinned mappings are doomed and
+	// munmapped by their last Release. Nil-ing the table makes later loads
+	// serve one-shot doomed mappings instead of rewarming a closed store.
+	var unmaps [][]byte
+	for k := range s.maps {
+		if d, _ := s.doomMappingLocked(k); d != nil {
+			unmaps = append(unmaps, d)
+		}
+	}
+	s.maps = nil
+	var err error
+	if s.indexF != nil {
+		err = s.indexF.Sync()
+		if cerr := s.indexF.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.mu.Unlock()
+	for _, d := range unmaps {
+		_ = unmapFile(d)
 	}
 	return err
 }
@@ -653,7 +679,7 @@ func (s *Store) applyPut(op writeOp) {
 	s.bytes += size
 	s.stats.Puts++
 	fmt.Fprintf(&lines, "put %x %d %d\n", op.key[:], size, e.atime)
-	victims := s.evictLocked(&lines)
+	ev := s.evictLocked(&lines)
 	s.mu.Unlock()
 	// Index append + fsync run outside s.mu (writer-goroutine-only I/O) so
 	// readers never wait on the disk. One fsync covers the put and any
@@ -667,9 +693,17 @@ func (s *Store) applyPut(op writeOp) {
 		_ = s.indexF.Sync()
 	}
 	s.emit(obs.EvStoreWrite, op.key, "")
-	for _, k := range victims {
-		os.Remove(s.objPath(k))
+	for _, k := range ev.evicted {
 		s.emit(obs.EvStoreEvict, k, "")
+	}
+	for _, k := range ev.victims {
+		os.Remove(s.objPath(k))
+	}
+	for _, d := range ev.unmaps {
+		_ = unmapFile(d)
+	}
+	if ev.count > 0 {
+		s.emitEvictPressure(ev)
 	}
 }
 
@@ -715,54 +749,109 @@ func (s *Store) writeObject(op writeOp) (int64, error) {
 	return int64(HeaderSize + len(op.payload)), nil
 }
 
+// evictResult is one eviction pass's outcome: evicted lists every removed
+// key (for per-key events), victims the subset whose files the caller must
+// unlink outside the lock (unpinned entries only — pinned ones defer the
+// unlink to their last unpin), unmaps the mapped regions to munmap outside
+// the lock, reclaimed/count the pressure-summary numbers.
+type evictResult struct {
+	evicted   []Key
+	victims   []Key
+	unmaps    [][]byte
+	reclaimed int64
+	count     int
+}
+
 // evictLocked removes oldest-access entries until the byte budget holds,
 // keeping at least one entry (a single oversized result may exceed the
-// budget rather than thrash), and returns the victims' keys so the caller
-// can unlink their files outside the lock. Deletion records are appended
-// to lines when non-nil (runtime path); the Open path compacts the index
-// right after instead. Caller holds s.mu (or is single-threaded Open).
-func (s *Store) evictLocked(lines *strings.Builder) []Key {
-	if s.maxBytes <= 0 {
-		return nil
+// budget rather than thrash). Deletion records are appended to lines when
+// non-nil (runtime path); the Open path compacts the index right after
+// instead. An entry pinned by an in-flight read is dropped from the live
+// set but its file survives until the last unpin; a mapped entry's region
+// likewise survives until its last view releases. Caller holds s.mu (or is
+// single-threaded Open).
+func (s *Store) evictLocked(lines *strings.Builder) evictResult {
+	var r evictResult
+	if s.maxBytes <= 0 || s.ro {
+		return r
 	}
-	var victims []Key
 	for s.bytes > s.maxBytes && s.ll.Len() > 1 {
 		e := s.ll.Back().Value.(*entry)
 		s.dropLocked(e)
 		s.stats.Evictions++
-		victims = append(victims, e.key)
+		r.evicted = append(r.evicted, e.key)
+		r.reclaimed += e.size
+		r.count++
+		unmap, mapDeferred := s.doomMappingLocked(e.key)
+		if unmap != nil {
+			r.unmaps = append(r.unmaps, unmap)
+		}
+		pinDeferred := e.pins > 0
+		if pinDeferred {
+			e.doomed = true
+		} else {
+			r.victims = append(r.victims, e.key)
+		}
+		if mapDeferred || pinDeferred {
+			s.stats.Mmap.UnmapDeferred++
+		}
 		if lines != nil {
 			fmt.Fprintf(lines, "del %x\n", e.key[:])
 		}
 	}
-	return victims
+	return r
+}
+
+// emitEvictPressure publishes one summary event per eviction pass — bytes
+// reclaimed, entries removed, and the budget being enforced — the firehose
+// signal that the store is cycling under byte pressure (per-key
+// store.evict events say who, this says how hard).
+func (s *Store) emitEvictPressure(ev evictResult) {
+	if s.bus == nil {
+		return
+	}
+	s.bus.Publish(obs.Event{Type: obs.EvStoreEvictPressure,
+		Bytes: ev.reclaimed, Count: ev.count, Budget: s.maxBytes})
 }
 
 // Entry is one live record surfaced by Recent for cache pre-warming.
 type Entry struct {
 	Key       Key
 	GraphHash [32]byte
-	Payload   []byte
+	// Payload aliases View.Bytes(): valid until the view is released.
+	Payload []byte
+	// View is the pinned verified read the payload came from. The caller
+	// owns it and must Release it (directly, or by handing the view on to
+	// whoever retains the payload).
+	View View
 }
 
-// Recent returns up to n live entries, most recently used first, with
-// verified payloads (corrupt files are quarantined and skipped, exactly as
-// on Get, but without hit/miss accounting). The service uses it to pre-warm
+// Recent returns up to n live entries, most recently used first, each with
+// a pinned verified view (corrupt files are quarantined and skipped,
+// exactly as on Get, but without hit/miss or access-time accounting: a
+// pre-warm read is not a serving decision). The service uses it to pre-warm
 // its in-memory cache on startup.
 func (s *Store) Recent(n int) []Entry {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []Entry
-	el := s.ll.Front()
-	for el != nil && len(out) < n {
-		e := el.Value.(*entry)
-		el = el.Next() // advance first: a corrupt read unlinks e.el
-		b, err := s.readVerifyLocked(e)
-		if err != nil {
+	keys := make([]Key, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil && len(keys) < n; el = el.Next() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	s.mu.Unlock()
+	// Reads run key-by-key with no lock held; a key evicted or quarantined
+	// since the snapshot simply misses and is skipped.
+	out := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		v, ok := s.getView(k, false)
+		if !ok {
 			continue
 		}
-		h, _ := DecodeHeader(b)
-		out = append(out, Entry{Key: e.key, GraphHash: h.GraphHash, Payload: b[HeaderSize:]})
+		h, err := DecodeHeader(v.img)
+		if err != nil { // unreachable: the view is verified
+			v.Release()
+			continue
+		}
+		out = append(out, Entry{Key: k, GraphHash: h.GraphHash, Payload: v.Bytes(), View: v})
 	}
 	return out
 }
@@ -794,6 +883,11 @@ const reverifyStrikes = 2
 // tests and operators can call it directly. Returns the restored and
 // deleted counts of this pass.
 func (s *Store) Reverify() (restored, deleted int) {
+	if s.ro {
+		// Restores rename files and append index records: the writable
+		// owner's reverifier does that; a read-only opener just serves.
+		return 0, 0
+	}
 	names, err := os.ReadDir(filepath.Join(s.dir, "quarantine"))
 	if err != nil {
 		return 0, 0
@@ -859,14 +953,7 @@ func (s *Store) Reverify() (restored, deleted int) {
 		// line only means orphan adoption re-indexes the file on restart.
 		// Byte-budget overshoot from restores is reconciled by the next
 		// put's eviction pass rather than here.
-		s.closeMu.RLock()
-		if !s.closed {
-			select {
-			case s.writeCh <- writeOp{key: k, atime: atime}:
-			default:
-			}
-		}
-		s.closeMu.RUnlock()
+		s.recordTouch(k, atime)
 	}
 	return restored, deleted
 }

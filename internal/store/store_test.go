@@ -128,6 +128,9 @@ func TestRecentOrderAndHeaderFields(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("Recent(2) returned %d entries", len(got))
 	}
+	for _, e := range got {
+		defer e.View.Release()
+	}
 	if got[0].Key != k0 || got[0].GraphHash != gh0 {
 		t.Fatalf("most recent entry is %x (ghash %x), want entry 0", got[0].Key[:4], got[0].GraphHash[:4])
 	}
