@@ -7,13 +7,16 @@
 // Usage:
 //
 //	bench [-seed N] [-only E1,E4] [-workers K] [-json BENCH_PR1.json]
-//	      [-store-bench]
+//	      [-store-bench] [-engine-bench]
 //
 // -only takes a comma-separated list of experiment ids; with no -only every
 // experiment runs. -store-bench additionally measures the result store's
 // warm read path — zero-copy mmap views vs. the read-and-verify fallback —
 // and records ns/op, bytes/op, and allocs/op under "store_get" in the -json
-// trajectory.
+// trajectory. -engine-bench measures the engine round observer's overhead —
+// repeated solves on one reused network, disarmed vs armed with a
+// profile-sized RoundRecorder — and records wall time, allocations, and the
+// engine's round/message bill per solve under "engine_observer".
 package main
 
 import (
@@ -26,7 +29,10 @@ import (
 	"strings"
 	"time"
 
+	"twoecss/internal/congest"
+	"twoecss/internal/ecss"
 	"twoecss/internal/experiments"
+	"twoecss/internal/graph"
 	"twoecss/internal/store"
 )
 
@@ -56,14 +62,31 @@ type storeGetRow struct {
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 }
 
+// engineObsRow is one engine-observer measurement: the same instance solved
+// repeatedly on a reused network with the round observer disarmed (the
+// default serving path: one nil-check per round) or armed with a
+// RoundRecorder (per-round samples retained, as GET /v1/jobs/{id}/profile
+// serves them). Comparing the two rows is the observer's overhead bill.
+type engineObsRow struct {
+	Mode        string  `json:"mode"` // "disarmed" or "armed"
+	N           int     `json:"n"`
+	Ops         int     `json:"ops"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	RoundsPerOp int64   `json:"rounds_per_op"` // simulated + charged
+	MsgsPerOp   int64   `json:"messages_per_op"`
+	SamplesKept int     `json:"samples_kept,omitempty"` // armed: ring occupancy after the last solve
+}
+
 // trajectory is the top-level schema of the -json output; future PRs append
 // comparable files (BENCH_PR2.json, ...) to track the perf trend.
 type trajectory struct {
-	Seed        int64         `json:"seed"`
-	Workers     int           `json:"workers"`
-	GoMaxProcs  int           `json:"gomaxprocs"`
-	Experiments []record      `json:"experiments"`
-	StoreGet    []storeGetRow `json:"store_get,omitempty"`
+	Seed           int64          `json:"seed"`
+	Workers        int            `json:"workers"`
+	GoMaxProcs     int            `json:"gomaxprocs"`
+	Experiments    []record       `json:"experiments"`
+	StoreGet       []storeGetRow  `json:"store_get,omitempty"`
+	EngineObserver []engineObsRow `json:"engine_observer,omitempty"`
 }
 
 func main() {
@@ -79,6 +102,7 @@ func run() error {
 	workers := flag.Int("workers", 0, "experiment-cell worker pool size (<=0: GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark trajectory to this file")
 	storeBench := flag.Bool("store-bench", false, "also benchmark the store's warm read path (mmap vs readfile)")
+	engineBench := flag.Bool("engine-bench", false, "also benchmark the engine round observer (disarmed vs armed)")
 	flag.Parse()
 
 	experiments.Workers = *workers
@@ -146,6 +170,19 @@ func run() error {
 				r.Mode, r.Ops, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
 	}
+	if *engineBench {
+		rows, err := runEngineBench(*seed)
+		if err != nil {
+			return fmt.Errorf("engine bench: %w", err)
+		}
+		traj.EngineObserver = rows
+		fmt.Printf("engine observer overhead (ring n=%d, reused network)\n", rows[0].N)
+		fmt.Println("  mode       ops     ns/op  allocs/op  rounds/op    msgs/op  samples")
+		for _, r := range rows {
+			fmt.Printf("  %-8s %6d %9d %10.1f %10d %10d %8d\n",
+				r.Mode, r.Ops, r.NsPerOp, r.AllocsPerOp, r.RoundsPerOp, r.MsgsPerOp, r.SamplesKept)
+		}
+	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(&traj, "", "  ")
 		if err != nil {
@@ -158,6 +195,71 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "bench: wrote trajectory to %s\n", *jsonPath)
 	}
 	return nil
+}
+
+// runEngineBench solves the same ring instance repeatedly on one reused
+// network — the pooled-network serving path — with the round observer
+// disarmed and then armed with a profile-sized RoundRecorder, reporting
+// per-solve wall time, allocations, and the engine's own cost counters.
+// The disarmed row is the baseline every solve pays; the armed row is what
+// -profile-rounds adds per job.
+func runEngineBench(seed int64) ([]engineObsRow, error) {
+	const n, ops = 96, 20
+	g, err := graph.ByFamily("ring", n, seed)
+	if err != nil {
+		return nil, err
+	}
+	opt := ecss.DefaultOptions()
+	net := congest.NewNetwork(g)
+	defer net.Close()
+	if _, err := ecss.SolveOn(net, opt); err != nil { // warm engine scratch
+		return nil, err
+	}
+
+	var rows []engineObsRow
+	for _, mode := range []struct {
+		name string
+		rec  *congest.RoundRecorder
+	}{
+		{"disarmed", nil},
+		{"armed", congest.NewRoundRecorder(512, 1)},
+	} {
+		var rounds, msgs int64
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		begin := time.Now()
+		for i := 0; i < ops; i++ {
+			net.ResetAccounting()
+			if mode.rec != nil {
+				mode.rec.Reset()
+				net.Observer = mode.rec
+			}
+			res, err := ecss.SolveOn(net, opt)
+			net.Observer = nil
+			if err != nil {
+				return nil, fmt.Errorf("%s solve %d: %w", mode.name, i, err)
+			}
+			rounds += res.Stats.TotalRounds()
+			msgs += res.Stats.Messages
+		}
+		elapsed := time.Since(begin)
+		runtime.ReadMemStats(&after)
+		row := engineObsRow{
+			Mode:        mode.name,
+			N:           n,
+			Ops:         ops,
+			NsPerOp:     elapsed.Nanoseconds() / ops,
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / ops,
+			RoundsPerOp: rounds / ops,
+			MsgsPerOp:   msgs / ops,
+		}
+		if mode.rec != nil {
+			row.SamplesKept = len(mode.rec.Samples())
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // runStoreBench measures a warm 1MiB store read in both modes. The "mmap"

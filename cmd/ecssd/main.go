@@ -9,6 +9,7 @@
 //	GET  /v1/jobs/{id} job status, progress phase, and result
 //	GET  /v1/jobs/{id}/stream  live SSE of the job's lifecycle events
 //	GET  /v1/jobs/{id}/trace   recorded per-job event trace (JSON)
+//	GET  /v1/jobs/{id}/profile engine round profile and per-stage costs (JSON)
 //	GET  /v1/events    SSE firehose of every lifecycle event (?types= filter)
 //	GET  /v1/stats     queue/cache/pool counters
 //	GET  /metrics      Prometheus text exposition
@@ -40,6 +41,7 @@
 //	ecssd [-addr :8080] [-queue 256] [-workers N] [-cache 512] [-pool N]
 //	      [-net-workers 1] [-drain-timeout 30s] [-debug-addr ADDR]
 //	      [-store-dir DIR] [-store-max-bytes 268435456] [-reverify 0]
+//	      [-profile-rounds 512] [-slo-latency 2s]
 //	      [-faults "solve.stage:panic,p=0.01;store.fsync:error,p=0.05"]
 //
 // -debug-addr starts a second listener serving net/http/pprof (profiles,
@@ -84,6 +86,8 @@ func run() error {
 	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "on-disk store budget, LRU-evicted (<=0: unbounded)")
 	storeReadOnly := flag.Bool("store-read-only", false, "open -store-dir read-only: serve a warm directory without writing, evicting, or quarantining (shareable across shards)")
 	reverify := flag.Duration("reverify", 0, "background store reverifier interval (0: disabled)")
+	profileRounds := flag.Int("profile-rounds", 512, "per-job engine round profile samples (<0: profiling disabled)")
+	sloLatency := flag.Duration("slo-latency", 2*time.Second, "solve-latency SLO threshold for burn-rate exposition")
 	debugAddr := flag.String("debug-addr", "", "pprof/debug listen address (empty: disabled)")
 	faultSpec := flag.String("faults", "", "fault-injection plan (overrides ECSS_FAULTS; see internal/faults)")
 	flag.Parse()
@@ -127,13 +131,15 @@ func run() error {
 			*storeDir, mode, sst.Entries, sst.Bytes, sst.Corruptions)
 	}
 	svc := service.New(service.Config{
-		QueueDepth:   *queue,
-		Workers:      *workers,
-		CacheEntries: *cache,
-		PoolEntries:  *pool,
-		NetWorkers:   *netWorkers,
-		Store:        st, // service owns it: Drain flushes and closes
-		Obs:          o,
+		QueueDepth:    *queue,
+		Workers:       *workers,
+		CacheEntries:  *cache,
+		PoolEntries:   *pool,
+		NetWorkers:    *netWorkers,
+		Store:         st, // service owns it: Drain flushes and closes
+		Obs:           o,
+		ProfileRounds: *profileRounds,
+		SLOLatency:    *sloLatency,
 	})
 	if *debugAddr != "" {
 		go func() {

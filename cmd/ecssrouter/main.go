@@ -14,9 +14,11 @@
 //	GET  /v1/jobs/{id} fanned out to eligible shards
 //	GET  /v1/jobs/{id}/stream  SSE job stream proxied from the owning shard
 //	GET  /v1/jobs/{id}/trace   per-job event trace fanned out to shards
+//	GET  /v1/jobs/{id}/profile engine round profile fanned out to shards
 //	GET  /v1/events    aggregated firehose: every shard's events, shard-tagged
 //	GET  /v1/stats     router + per-shard health, ejections, retries, hedges
-//	GET  /metrics      Prometheus text exposition (router + per-shard health)
+//	GET  /metrics      Prometheus text exposition (router + per-shard health,
+//	                   shard-tagged ecss_engine_* fleet totals, SLO burn rates)
 //	GET  /healthz      200 while >=1 shard eligible; 503 otherwise/draining
 //
 // SIGINT/SIGTERM marks the router draining (healthz 503), then gracefully
@@ -29,7 +31,8 @@
 //	           [-replicas 2] [-vnodes 64] [-probe-interval 500ms]
 //	           [-probe-timeout 2s] [-eject-after 3] [-eject-backoff 500ms]
 //	           [-eject-backoff-max 15s] [-hedge-after 0] [-retry-jitter 25ms]
-//	           [-drain-timeout 30s] [-debug-addr ADDR] [-faults SPEC]
+//	           [-slo-latency 2s] [-drain-timeout 30s] [-debug-addr ADDR]
+//	           [-faults SPEC]
 //
 // -debug-addr starts a second listener serving net/http/pprof away from the
 // routed API port.
@@ -72,6 +75,7 @@ func run() error {
 	ejectBackoffMax := flag.Duration("eject-backoff-max", 15*time.Second, "ejection backoff ceiling")
 	hedgeAfter := flag.Duration("hedge-after", 0, "fixed hedging trigger (0: adaptive EWMA p99 policy)")
 	retryJitter := flag.Duration("retry-jitter", 25*time.Millisecond, "max random delay before each retry")
+	sloLatency := flag.Duration("slo-latency", 2*time.Second, "route-latency SLO threshold for burn-rate exposition")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	debugAddr := flag.String("debug-addr", "", "pprof/debug listen address (empty: disabled)")
 	faultSpec := flag.String("faults", "", "fault-injection plan (overrides ECSS_FAULTS; see internal/faults)")
@@ -104,6 +108,7 @@ func run() error {
 		EjectBackoffMax: *ejectBackoffMax,
 		HedgeAfter:      *hedgeAfter,
 		RetryJitter:     *retryJitter,
+		SLOLatency:      *sloLatency,
 	}, addrs)
 	if err != nil {
 		return err

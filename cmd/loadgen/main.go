@@ -46,7 +46,15 @@
 // run must complete.
 //
 // -check-metrics (any mode) scrapes GET /metrics from every target after
-// the load and fails on an unparseable Prometheus exposition.
+// the load and fails on an unparseable Prometheus exposition. When metrics
+// are scraped (-check-metrics or -min-engine-rounds >= 0) the run also
+// reports the fleet's engine cost totals — CONGEST rounds and messages,
+// summed over every ecss_engine_rounds_total / ecss_engine_messages_total
+// series (a router re-exports its shards' counters shard-tagged, so one
+// router target sees the whole fleet) — and -min-engine-rounds fails the
+// run unless at least that many engine rounds were consumed, asserting the
+// engine telemetry pipeline end to end: solver -> accounting -> registry ->
+// exposition.
 //
 // Usage:
 //
@@ -55,6 +63,7 @@
 //	        [-n 96] [-families er,grid,ring,random,ba] [-seeds 4]
 //	        [-eps 0.25] [-min-cache-hits -1] [-min-store-hits -1]
 //	        [-max-solves -1] [-min-mmap-maps -1] [-check-metrics]
+//	        [-min-engine-rounds -1]
 //	        [-stream] [-min-streamed -1]
 //	        [-chaos] [-acked-out FILE] [-verify-acked FILE]
 //	        [-min-acked -1] [-min-restored -1] [-min-acked-per-target -1]
@@ -117,6 +126,7 @@ func run() error {
 	stream := flag.Bool("stream", false, "stream mode: submit wait=false and consume per-job SSE streams instead of polling")
 	minStreamed := flag.Int64("min-streamed", -1, "stream mode: fail unless at least this many protocol-clean streams completed (<0: no check)")
 	checkMetrics := flag.Bool("check-metrics", false, "scrape /metrics from every target after the load and fail on an unparseable exposition")
+	minEngineRounds := flag.Int64("min-engine-rounds", -1, "fail unless the targets' /metrics report at least this many engine rounds in total (<0: no check; asserts engine telemetry end to end)")
 	chaos := flag.Bool("chaos", false, "chaos mode: mixed priorities and deadlines, fault-tolerant outcome classification")
 	ackedOut := flag.String("acked-out", "", "chaos mode: write acknowledged results here as 'name sha256' lines")
 	verifyAcked := flag.String("verify-acked", "", "replay the acked file against the server and fail on any lost or altered result")
@@ -166,7 +176,44 @@ func run() error {
 		return modeErr
 	}
 	if *checkMetrics {
-		return checkAllMetrics(client, targets)
+		if err := checkAllMetrics(client, targets); err != nil {
+			return err
+		}
+	}
+	if *checkMetrics || *minEngineRounds >= 0 {
+		return reportEngineTotals(client, targets, *minEngineRounds)
+	}
+	return nil
+}
+
+// reportEngineTotals sums the engine cost counters — CONGEST rounds and
+// messages — over every series of the fleet's expositions and gates the run
+// on -min-engine-rounds. Against ecssd shards the counters partition the
+// fleet's work; against a router they are its shard-tagged re-export of the
+// same ledgers, so either target shape sums to the fleet total.
+func reportEngineTotals(client *http.Client, targets []string, minEngineRounds int64) error {
+	var rounds, msgs float64
+	for _, t := range targets {
+		resp, err := client.Get(t + "/metrics")
+		if err != nil {
+			return fmt.Errorf("scrape %s/metrics for engine totals: %w", t, err)
+		}
+		doc, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return fmt.Errorf("scrape %s/metrics for engine totals: %w", t, rerr)
+		}
+		if r, ok := obs.SumSeries(doc, "ecss_engine_rounds_total"); ok {
+			rounds += r
+		}
+		if m, ok := obs.SumSeries(doc, "ecss_engine_messages_total"); ok {
+			msgs += m
+		}
+	}
+	fmt.Printf("engine:        %.0f rounds, %.0f messages consumed across %d target(s)\n",
+		rounds, msgs, len(targets))
+	if minEngineRounds >= 0 && int64(rounds) < minEngineRounds {
+		return fmt.Errorf("targets report %.0f engine rounds, need >= %d (engine telemetry not flowing)", rounds, minEngineRounds)
 	}
 	return nil
 }

@@ -94,6 +94,11 @@ type Network struct {
 	// Workers is the size of the goroutine pool used to run node handlers
 	// (defaults to GOMAXPROCS). Set to 1 for fully sequential execution.
 	Workers int
+	// Observer, when non-nil, receives one RoundSample per simulated round
+	// (see RoundRecorder for the bounded default). It must not be changed
+	// while a Run is in flight, and ResetAccounting does not touch it. A
+	// nil Observer costs one branch per round and nothing else.
+	Observer RoundObserver
 
 	stats   Stats
 	phases  []PhaseSpan

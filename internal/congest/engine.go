@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 )
 
 // parallelSchedMin and parallelMsgsPerWorker gate the parallel paths: below
@@ -47,6 +48,7 @@ type wstate struct {
 	messages int64
 	words    int64
 	maxEdge  int32
+	maxNode  int64 // peak per-node payload words sent this round
 	recv     []int // receivers this worker delivered to this round
 	// First validation/bandwidth error observed by this worker, with its
 	// (sender, outbox index) position for deterministic cross-worker merge.
@@ -76,6 +78,10 @@ type scratch struct {
 	edgeEpoch []int64
 	epoch     int64
 	workers   []wstate
+	// eng is the per-Run execution state, kept here so a steady-state Run
+	// performs zero allocations (the pool stores a *engine while
+	// dispatching, which would otherwise force a heap engine per call).
+	eng engine
 }
 
 func (s *scratch) ensure(n, m, workers int) {
@@ -265,7 +271,14 @@ func (n *Network) Run(handler Handler, start []int, maxRounds int64) error {
 		slices.Sort(sc.next)
 	}
 
-	e := &engine{net: n, sc: sc, handler: handler, W: workers, us: us, vs: vs}
+	e := &sc.eng
+	*e = engine{net: n, sc: sc, handler: handler, W: workers, us: us, vs: vs}
+
+	// The observer is latched once per Run: arming costs phase timestamps
+	// and one sample per round; disarmed, the hot loop pays a single nil
+	// check and never touches the clock.
+	observer := n.Observer
+	var tRound, tRoute time.Time
 
 	for round := int64(0); ; round++ {
 		sc.sched, sc.next = sc.next, sc.sched[:0]
@@ -280,12 +293,16 @@ func (n *Network) Run(handler Handler, start []int, maxRounds int64) error {
 		for _, v := range sc.sched {
 			sc.pending[v] = false
 		}
+		if observer != nil {
+			tRound = time.Now()
+		}
 
 		// Phase 1: run handlers, validate outboxes, account bandwidth.
 		// Each scheduled node is processed by exactly one worker, and every
 		// (edge,direction) counter slot is owned by its unique sender, so
 		// the phase needs no locks.
-		var roundMsgs int64
+		var roundMsgs, roundWords, roundMaxNode int64
+		var roundMaxEdge int32
 		used := e.runPhase(1, len(sc.sched) >= parallelSchedMin)
 		for w := 0; w < used; w++ {
 			ws := &sc.workers[w]
@@ -295,10 +312,22 @@ func (n *Network) Run(handler Handler, start []int, maxRounds int64) error {
 				n.stats.MaxEdgeWords = int(ws.maxEdge)
 			}
 			roundMsgs += ws.messages
-			ws.messages, ws.words, ws.maxEdge = 0, 0, 0
+			roundWords += ws.words
+			if ws.maxEdge > roundMaxEdge {
+				roundMaxEdge = ws.maxEdge
+			}
+			if ws.maxNode > roundMaxNode {
+				roundMaxNode = ws.maxNode
+			}
+			ws.messages, ws.words, ws.maxEdge, ws.maxNode = 0, 0, 0, 0
 		}
 		if err := e.mergeErrors(used); err != nil {
 			return err
+		}
+		var handlerNs int64
+		if observer != nil {
+			tRoute = time.Now()
+			handlerNs = tRoute.Sub(tRound).Nanoseconds()
 		}
 
 		// Nodes that stay active are scheduled again.
@@ -325,6 +354,18 @@ func (n *Network) Run(handler Handler, start []int, maxRounds int64) error {
 			ws.recv = ws.recv[:0]
 		}
 		slices.Sort(sc.next)
+		if observer != nil {
+			observer.ObserveRound(RoundSample{
+				Round:        n.stats.SimulatedRounds,
+				Active:       len(sc.sched),
+				Messages:     roundMsgs,
+				Words:        roundWords,
+				MaxEdgeWords: int(roundMaxEdge),
+				MaxNodeWords: roundMaxNode,
+				HandlerNs:    handlerNs,
+				RouteNs:      time.Since(tRoute).Nanoseconds(),
+			})
+		}
 	}
 }
 
@@ -375,7 +416,9 @@ func (e *engine) runHandlers(w, W int) {
 	epoch := sc.epoch
 	var messages, words int64
 	maxEdge := ws.maxEdge
+	maxNode := ws.maxNode
 	for _, v := range sched[lo:hi] {
+		nodeStart := words
 		out, act := e.handler(v, sc.inboxes[v])
 		sc.inboxes[v] = sc.inboxes[v][:0]
 		sc.active[v] = act
@@ -429,10 +472,14 @@ func (e *engine) runHandlers(w, W int) {
 			messages++
 			words += int64(len(m.Data))
 		}
+		if nw := words - nodeStart; nw > maxNode {
+			maxNode = nw
+		}
 	}
 	ws.messages += messages
 	ws.words += words
 	ws.maxEdge = maxEdge
+	ws.maxNode = maxNode
 }
 
 func (ws *wstate) recordVal(err error, v, i int) {

@@ -52,6 +52,14 @@ type Options struct {
 	// deterministic for any worker count, so content-addressed caches key
 	// on the remaining fields only.
 	Progress func(stage string)
+	// StageStats, if non-nil, is invoked when a pipeline stage completes,
+	// with the engine cost delta (rounds, messages, words) that stage
+	// consumed. It fires after the next stage's Progress call would be
+	// due — ordering per stage is StageStats(prev) then Progress(next) —
+	// and once more for the final stage when SolveOn returns successfully.
+	// A stage aborted by an error reports no delta. Like Progress it is an
+	// execution knob, excluded from result identity.
+	StageStats func(stage string, delta congest.Stats)
 }
 
 // DefaultOptions returns Theorem 1.1's configuration.
@@ -116,9 +124,27 @@ func SolveOn(net *congest.Network, opt Options) (*Result, error) {
 	if opt.Workers > 0 {
 		net.Workers = opt.Workers
 	}
+	// step opens a stage: it first closes the previous one by reporting the
+	// engine cost consumed since its start (StageStats), then announces the
+	// new stage (Progress). closeLast flushes the final stage on success.
+	var curStage string
+	var stageMark congest.Stats
 	step := func(stage string) {
+		if opt.StageStats != nil {
+			now := net.Stats()
+			if curStage != "" {
+				opt.StageStats(curStage, statsDelta(stageMark, now))
+			}
+			curStage, stageMark = stage, now
+		}
 		if opt.Progress != nil {
 			opt.Progress(stage)
+		}
+	}
+	closeLast := func() {
+		if opt.StageStats != nil && curStage != "" {
+			opt.StageStats(curStage, statsDelta(stageMark, net.Stats()))
+			curStage = ""
 		}
 	}
 	start := net.Stats()
@@ -170,6 +196,7 @@ func SolveOn(net *congest.Network, opt Options) (*Result, error) {
 	step("assemble")
 	res := assemble(g, t, tr)
 	res.Stats = statsDelta(start, net.Stats())
+	closeLast()
 	return res, nil
 }
 

@@ -2,8 +2,10 @@ package ecss
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
+	"twoecss/internal/congest"
 	"twoecss/internal/graph"
 	"twoecss/internal/tap"
 )
@@ -145,5 +147,48 @@ func TestRemovalToleranceOfSolution(t *testing.T) {
 	sub := g.Subgraph(res.Edges)
 	if !sub.TwoEdgeConnected() {
 		t.Fatal("solution not 2-edge-connected")
+	}
+}
+
+func TestStageStatsDeltas(t *testing.T) {
+	g := gen2EC(11, 40, 35, graph.WeightUniform)
+	opt := DefaultOptions()
+	opt.Workers = 1
+	var order []string
+	deltas := map[string]congest.Stats{}
+	opt.Progress = func(stage string) { order = append(order, "p:"+stage) }
+	opt.StageStats = func(stage string, d congest.Stats) {
+		order = append(order, "s:"+stage)
+		deltas[stage] = d
+	}
+	res, net, err := Solve(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	// Per stage: StageStats closes the previous stage before Progress opens
+	// the next, and the final stage flushes at return.
+	want := []string{"p:bfs", "s:bfs", "p:mst", "s:mst", "p:tap", "s:tap", "p:assemble", "s:assemble"}
+	if !slices.Equal(order, want) {
+		t.Fatalf("hook order %v, want %v", order, want)
+	}
+	var sim, charged, msgs int64
+	for _, d := range deltas {
+		if d.SimulatedRounds < 0 || d.ChargedRounds < 0 || d.Messages < 0 {
+			t.Fatalf("negative stage delta: %+v", d)
+		}
+		sim += d.SimulatedRounds
+		charged += d.ChargedRounds
+		msgs += d.Messages
+	}
+	if sim != res.Stats.SimulatedRounds || charged != res.Stats.ChargedRounds || msgs != res.Stats.Messages {
+		t.Fatalf("stage deltas sum to %d/%d rounds %d msgs, result bill %d/%d rounds %d msgs",
+			sim, charged, msgs, res.Stats.SimulatedRounds, res.Stats.ChargedRounds, res.Stats.Messages)
+	}
+	if deltas["bfs"].SimulatedRounds == 0 {
+		t.Fatal("bfs stage reported zero simulated rounds")
+	}
+	if deltas["mst"].ChargedRounds == 0 {
+		t.Fatal("charged MST stage reported zero charged rounds")
 	}
 }

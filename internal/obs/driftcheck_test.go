@@ -1,0 +1,130 @@
+package obs_test
+
+// Alert-rules / registry drift check: every ecss_* metric family referenced
+// anywhere in alerts/ecss.rules.yml must exist in the registered exposition
+// of at least one daemon (ecssd's service registry or ecssrouter's). A rule
+// watching a family nobody exports would silently never fire; this test
+// turns that drift into a build failure.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"sort"
+	"testing"
+	"time"
+
+	"twoecss/internal/ecss"
+	"twoecss/internal/faults"
+	"twoecss/internal/graph"
+	"twoecss/internal/obs"
+	"twoecss/internal/router"
+	"twoecss/internal/service"
+	"twoecss/internal/store"
+)
+
+// scrape renders one registry's /metrics through its HTTP handler, failing
+// on an invalid exposition.
+func scrape(t *testing.T, h http.Handler) []byte {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	doc, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateExposition(doc); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	return doc
+}
+
+func TestAlertRulesReferenceOnlyExportedFamilies(t *testing.T) {
+	rules, err := os.ReadFile("../../alerts/ecss.rules.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trailing [a-z0-9] keeps glob prefixes like "ecss_engine_*" in prose
+	// comments from matching as (truncated) family names.
+	referenced := regexp.MustCompile(`\becss_[a-z0-9_]*[a-z0-9]\b`).FindAll(rules, -1)
+	if len(referenced) == 0 {
+		t.Fatal("no ecss_* families referenced in alerts/ecss.rules.yml — parse failure?")
+	}
+
+	// Arm a fault plan so the conditional ecss_fault_* families register.
+	// The huge after= count means traversals are tallied as hits but the
+	// fault never actually fires, so the solve below runs clean.
+	if err := faults.Arm("solve.stage:error,after=1000000000"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+
+	// ecssd's exposition: a service with a disk store (store families) that
+	// has run one real solve (stage/engine histograms are get-or-create).
+	st, err := store.OpenWith(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 1, Store: st})
+	g, err := graph.ByFamily("ring", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := svc.Submit(g, ecss.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("drift-check solve did not finish")
+	}
+	shardDoc := scrape(t, svc.Handler())
+
+	// ecssrouter's exposition, fronting the live service as its one shard so
+	// the shard-tagged engine aggregation has something to scrape.
+	shardSrv := httptest.NewServer(svc.Handler())
+	defer shardSrv.Close()
+	rt, err := router.New(router.Config{ProbeInterval: time.Hour}, []string{shardSrv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	routerDoc := scrape(t, rt.Handler())
+
+	exported := obs.ExpoSeriesNames(shardDoc)
+	for name := range obs.ExpoSeriesNames(routerDoc) {
+		exported[name] = true
+	}
+
+	missing := map[string]bool{}
+	for _, ref := range referenced {
+		if name := string(ref); !exported[name] {
+			missing[name] = true
+		}
+	}
+	if len(missing) > 0 {
+		names := make([]string, 0, len(missing))
+		for n := range missing {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Fatalf("alerts/ecss.rules.yml references families absent from both daemons' expositions: %v", names)
+	}
+
+	// Sanity: the rules do reference this PR's new families, so the check
+	// above actually exercises them.
+	for _, want := range []string{"ecss_slo_burn_rate", "ecss_engine_rounds_total"} {
+		if !bytes.Contains(rules, []byte(want)) {
+			t.Fatalf("alert rules no longer reference %s — drift check weakened", want)
+		}
+	}
+}

@@ -18,8 +18,10 @@ import (
 // dotted <subsystem>.<what>, stable across releases, and every event a
 // subsystem acknowledges having processed is replayable from its trace.
 const (
-	// Job lifecycle (service). Admitted/started/stage/retry narrate a solve;
-	// done/failed/expired/shed/canceled are terminal; cached marks a
+	// Job lifecycle (service). Admitted/started/stage/retry narrate a solve
+	// (job.stage fires when a pipeline stage completes, carrying its wall
+	// time and engine cost); done/failed/expired/shed/canceled are
+	// terminal; cached marks a
 	// submission served without a solve (memory cache or disk store — the
 	// job is terminal the moment it exists); coalesced marks a submission
 	// attached to an identical in-flight job.
@@ -90,13 +92,20 @@ type Event struct {
 	// Err carries the failure cause of *_error / failed / expired events.
 	Err string `json:"error,omitempty"`
 	// MS is a duration in milliseconds where one is meaningful (job.done,
-	// job.failed: solve wall time; job.stage: time since solve start).
+	// job.failed: solve wall time; job.stage: the completed stage's wall
+	// time).
 	MS float64 `json:"ms,omitempty"`
 	// Bytes, Count, and Budget carry the numeric payload of summary events
 	// (store.evict_pressure: bytes reclaimed, entries evicted, byte budget).
 	Bytes  int64 `json:"bytes,omitempty"`
 	Count  int   `json:"count,omitempty"`
 	Budget int64 `json:"budget,omitempty"`
+	// Rounds and Msgs carry the engine cost dimension of job.stage (the
+	// completed stage's simulated+charged rounds and delivered messages)
+	// and job.done events (whole-solve totals) — the paper's own CONGEST
+	// cost measures surfaced on the firehose.
+	Rounds int64 `json:"rounds,omitempty"`
+	Msgs   int64 `json:"msgs,omitempty"`
 	// Terminal marks the event that ends a job's lifecycle; a per-job SSE
 	// stream closes after relaying it.
 	Terminal bool `json:"terminal,omitempty"`

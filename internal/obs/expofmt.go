@@ -167,6 +167,62 @@ func parseSeriesName(line string) (name, rest string, err error) {
 	return name, line[j+1:], nil
 }
 
+// SumSeries sums the values of every sample line of the named series
+// across its label sets (e.g. all shards of a shard-tagged counter),
+// reporting whether any sample was found. Histogram families are summed by
+// their exact series name (pass "fam_count", not "fam"). Non-finite values
+// are skipped. Malformed lines are ignored: callers validating the
+// document use ValidateExposition first.
+func SumSeries(doc []byte, name string) (sum float64, found bool) {
+	for _, raw := range strings.Split(string(doc), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, rest, err := parseSeriesName(line)
+		if err != nil || n != name {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			continue
+		}
+		sum += v
+		found = true
+	}
+	return sum, found
+}
+
+// ExpoSeriesNames returns every name addressable in the document: each
+// TYPE-declared family plus every sampled series name (so histogram
+// families appear both bare and with their _bucket/_sum/_count suffixes).
+// The alert-rules drift check resolves referenced metric names against
+// this set.
+func ExpoSeriesNames(doc []byte) map[string]bool {
+	names := make(map[string]bool)
+	for _, raw := range strings.Split(string(doc), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(strings.TrimPrefix(line, "#"))
+			if len(fields) == 3 && fields[0] == "TYPE" && validName(fields[1]) {
+				names[fields[1]] = true
+			}
+			continue
+		}
+		if n, _, err := parseSeriesName(line); err == nil {
+			names[n] = true
+		}
+	}
+	return names
+}
+
 func parseExpoValue(s string) (float64, error) {
 	switch s {
 	case "+Inf", "Inf":

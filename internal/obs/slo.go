@@ -1,0 +1,196 @@
+package obs
+
+// SLO layer: declared service-level objectives with multi-window error-
+// budget burn rates computed at scrape time (DESIGN.md §12.4). An SLO
+// counts good and bad events into a ring of coarse time buckets; the
+// registered collector derives, per declared window, the error ratio and
+// the burn rate — the ratio divided by the objective's error budget, the
+// standard multi-window multi-burn-rate alerting input (a burn rate of 1
+// consumes exactly the whole budget over the SLO period; 14.4 exhausts a
+// 30-day budget in 2 days). alerts/ecss.rules.yml pairs fast and slow
+// windows on the exported ecss_slo_burn_rate gauge.
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// windowLabel renders a window as a compact label value: "5m", "6h" —
+// time.Duration.String with the trailing zero units trimmed.
+func windowLabel(w time.Duration) string {
+	s := w.String()
+	if strings.HasSuffix(s, "m0s") {
+		s = strings.TrimSuffix(s, "0s")
+	}
+	if strings.HasSuffix(s, "h0m") {
+		s = strings.TrimSuffix(s, "0m")
+	}
+	return s
+}
+
+// sloBucketWidth is the ring resolution. Windows are rounded up to whole
+// buckets; the newest (partial) bucket is always included, so short-window
+// burn rates respond within seconds of a bad burst.
+const sloBucketWidth = 5 * time.Second
+
+// DefaultSLOWindows are the burn-rate windows exported when the declaring
+// subsystem does not choose its own: the classic fast (5m), intermediate
+// (30m), and slow (6h) pairing set.
+var DefaultSLOWindows = []time.Duration{5 * time.Minute, 30 * time.Minute, 6 * time.Hour}
+
+type sloBucket struct {
+	idx       int64 // bucket timestamp: unixNano / sloBucketWidth
+	good, bad int64
+}
+
+// SLO is one declared objective: a target fraction of good events.
+// Subsystems classify each observed event as good or bad (a served
+// request, a request under its latency threshold); the SLO keeps lifetime
+// totals plus a bounded ring of recent buckets for windowed burn rates.
+type SLO struct {
+	name      string
+	objective float64 // target good fraction in (0,1)
+	windows   []time.Duration
+
+	mu      sync.Mutex
+	ring    []sloBucket
+	good    int64 // lifetime totals
+	bad     int64
+	nowFunc func() time.Time // test hook; nil means time.Now
+}
+
+// NewSLO declares an objective (e.g. 0.99 = 99% good) and registers its
+// exposition on reg: ecss_slo_objective, ecss_slo_events_total
+// {outcome=good|bad}, and per window ecss_slo_error_ratio and
+// ecss_slo_burn_rate, all labeled {slo=name}. Objectives outside (0,1)
+// are clamped to 0.999. windows nil selects DefaultSLOWindows.
+func NewSLO(reg *Registry, name string, objective float64, windows ...time.Duration) *SLO {
+	if objective <= 0 || objective >= 1 {
+		objective = 0.999
+	}
+	if len(windows) == 0 {
+		windows = DefaultSLOWindows
+	}
+	longest := windows[0]
+	for _, w := range windows {
+		if w > longest {
+			longest = w
+		}
+	}
+	s := &SLO{
+		name:      name,
+		objective: objective,
+		windows:   append([]time.Duration(nil), windows...),
+		ring:      make([]sloBucket, longest/sloBucketWidth+2),
+	}
+	if reg != nil {
+		reg.Collect(s.collect)
+	}
+	return s
+}
+
+func (s *SLO) now() time.Time {
+	if s.nowFunc != nil {
+		return s.nowFunc()
+	}
+	return time.Now()
+}
+
+// Name returns the declared objective's name.
+func (s *SLO) Name() string { return s.name }
+
+// Objective returns the declared good-event target fraction.
+func (s *SLO) Objective() float64 { return s.objective }
+
+// Observe records one classified event.
+func (s *SLO) Observe(good bool) {
+	idx := s.now().UnixNano() / int64(sloBucketWidth)
+	s.mu.Lock()
+	b := &s.ring[idx%int64(len(s.ring))]
+	if b.idx != idx {
+		b.idx, b.good, b.bad = idx, 0, 0
+	}
+	if good {
+		b.good++
+		s.good++
+	} else {
+		b.bad++
+		s.bad++
+	}
+	s.mu.Unlock()
+}
+
+// ObserveLatency classifies a duration against a threshold: good iff
+// d <= threshold.
+func (s *SLO) ObserveLatency(d, threshold time.Duration) { s.Observe(d <= threshold) }
+
+// windowCounts sums the ring buckets younger than w, including the current
+// partial bucket. Caller holds s.mu.
+func (s *SLO) windowCounts(nowIdx int64, w time.Duration) (good, bad int64) {
+	span := int64(w / sloBucketWidth)
+	if span < 1 {
+		span = 1
+	}
+	lo := nowIdx - span + 1
+	for i := range s.ring {
+		b := &s.ring[i]
+		if b.idx >= lo && b.idx <= nowIdx {
+			good += b.good
+			bad += b.bad
+		}
+	}
+	return good, bad
+}
+
+// BurnRate returns the error-budget burn rate over window w: the bad-event
+// ratio divided by the budget (1 - objective). 0 when the window saw no
+// events.
+func (s *SLO) BurnRate(w time.Duration) float64 {
+	nowIdx := s.now().UnixNano() / int64(sloBucketWidth)
+	s.mu.Lock()
+	good, bad := s.windowCounts(nowIdx, w)
+	s.mu.Unlock()
+	if good+bad == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(good+bad)) / (1 - s.objective)
+}
+
+// collect is the registered scrape-time exposition.
+func (s *SLO) collect(emit func(Sample)) {
+	l := L("slo", s.name)
+	nowIdx := s.now().UnixNano() / int64(sloBucketWidth)
+	s.mu.Lock()
+	good, bad := s.good, s.bad
+	type wrow struct {
+		label      string
+		ratio, br  float64
+		seenEvents bool
+	}
+	rows := make([]wrow, 0, len(s.windows))
+	for _, w := range s.windows {
+		wg, wb := s.windowCounts(nowIdx, w)
+		row := wrow{label: windowLabel(w)}
+		if wg+wb > 0 {
+			row.seenEvents = true
+			row.ratio = float64(wb) / float64(wg+wb)
+			row.br = row.ratio / (1 - s.objective)
+		}
+		rows = append(rows, row)
+	}
+	s.mu.Unlock()
+	emit(Sample{Name: "ecss_slo_objective", Help: "Declared good-event target fraction per SLO.",
+		Type: "gauge", Value: s.objective, Labels: []Label{l}})
+	emit(Sample{Name: "ecss_slo_events_total", Help: "Events classified against each SLO.",
+		Type: "counter", Value: float64(good), Labels: []Label{l, L("outcome", "good")}})
+	emit(Sample{Name: "ecss_slo_events_total", Help: "Events classified against each SLO.",
+		Type: "counter", Value: float64(bad), Labels: []Label{l, L("outcome", "bad")}})
+	for _, row := range rows {
+		wl := L("window", row.label)
+		emit(Sample{Name: "ecss_slo_error_ratio", Help: "Bad-event fraction per SLO over each declared window.",
+			Type: "gauge", Value: row.ratio, Labels: []Label{l, wl}})
+		emit(Sample{Name: "ecss_slo_burn_rate", Help: "Error-budget burn rate per SLO over each declared window (1 = budget consumed exactly at period end).",
+			Type: "gauge", Value: row.br, Labels: []Label{l, wl}})
+	}
+}

@@ -208,3 +208,70 @@ func TestReadSSEIgnoresCommentsAndHeartbeats(t *testing.T) {
 		t.Fatalf("parsed %+v", got)
 	}
 }
+
+func TestReadSSECRLFLineEndings(t *testing.T) {
+	// Proxies and Windows-side tooling normalize to CRLF; the SSE spec
+	// admits CR LF as a line terminator and the parser must not leave a
+	// stray \r inside field values or treat "\r\n\r\n" as a non-boundary.
+	stream := "id: 7\r\nevent: job.stage\r\ndata: {\"type\":\"job.stage\"}\r\n\r\n" +
+		": heartbeat\r\n\r\n" +
+		"data: tail\r\n\r\n"
+	var got []SSEvent
+	if err := ReadSSE(strings.NewReader(stream), func(ev SSEvent) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d events, want 2: %+v", len(got), got)
+	}
+	if got[0].ID != 7 || got[0].Type != "job.stage" {
+		t.Fatalf("first event = %+v", got[0])
+	}
+	if strings.ContainsRune(string(got[0].Data), '\r') || string(got[0].Data) != `{"type":"job.stage"}` {
+		t.Fatalf("CR leaked into data: %q", got[0].Data)
+	}
+	if string(got[1].Data) != "tail" {
+		t.Fatalf("second event data = %q", got[1].Data)
+	}
+}
+
+func TestReadSSEMultiLineData(t *testing.T) {
+	// Multiple data: fields in one frame concatenate with exactly one "\n"
+	// between payload lines (and none trailing), per the SSE spec.
+	stream := "event: note\ndata: line one\ndata: line two\ndata:\ndata: line four\n\n"
+	var got []SSEvent
+	if err := ReadSSE(strings.NewReader(stream), func(ev SSEvent) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d events, want 1", len(got))
+	}
+	if want := "line one\nline two\n\nline four"; string(got[0].Data) != want {
+		t.Fatalf("joined data = %q, want %q", got[0].Data, want)
+	}
+	if got[0].Type != "note" {
+		t.Fatalf("event type = %q", got[0].Type)
+	}
+}
+
+func TestReadSSECommentOnlyStream(t *testing.T) {
+	// A stream of heartbeats alone — what an idle firehose looks like —
+	// must produce no events and terminate cleanly at EOF, including when
+	// the final frame has no trailing blank line.
+	stream := ": ping\n\n: ping\n\n: ping\n"
+	calls := 0
+	if err := ReadSSE(strings.NewReader(stream), func(ev SSEvent) error {
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("comment-only stream produced %d events", calls)
+	}
+}

@@ -63,6 +63,10 @@ type Config struct {
 	// RetryJitter is the upper bound of the uniform random delay before
 	// each retry attempt, decorrelating retry storms (default 25ms).
 	RetryJitter time.Duration
+	// SLOLatency is the route-latency SLO threshold: a routed 2xx counting
+	// as "good" must be relayed within it (default 2s). Objectives are fixed
+	// (99% latency, 99.9% availability), exported as ecss_slo_* burn rates.
+	SLOLatency time.Duration
 	// Obs is the router's observability hub (nil: a private one is
 	// created). The router publishes router.* events on its bus, registers
 	// its metrics, and — via the shard firehose aggregator — republishes
@@ -97,6 +101,9 @@ func (c Config) withDefaults() Config {
 	} else if c.RetryJitter == 0 {
 		c.RetryJitter = 25 * time.Millisecond
 	}
+	if c.SLOLatency <= 0 {
+		c.SLOLatency = 2 * time.Second
+	}
 	return c
 }
 
@@ -120,9 +127,12 @@ type Router struct {
 	ring   *ring
 	client *http.Client
 	// o is the observability hub (never nil after New); forwardHist is the
-	// deliverable-forward latency histogram.
+	// deliverable-forward latency histogram; sloLatency and sloAvail are the
+	// declared routing SLOs (observe.go).
 	o           *obs.Obs
 	forwardHist *obs.Histogram
+	sloLatency  *obs.SLO
+	sloAvail    *obs.SLO
 
 	// p99 estimator over successful forward latencies, all shards pooled:
 	// EWMA mean and EWMA mean-absolute-deviation, sample-counted so the
@@ -470,6 +480,7 @@ func failureCause(res *attemptResult) error {
 //	GET  /v1/jobs/{id}        fanned out to eligible shards, first hit wins
 //	GET  /v1/jobs/{id}/stream per-job SSE, proxied from the owning shard
 //	GET  /v1/jobs/{id}/trace  job event timeline, fanned out like job lookups
+//	GET  /v1/jobs/{id}/profile engine round profile, fanned out like job lookups
 //	GET  /v1/events           aggregated firehose: router events + every
 //	                          shard's events tagged with the origin shard
 //	GET  /v1/stats            router + per-shard health and counters
@@ -481,6 +492,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", rt.handleJobStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", rt.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", rt.handleJobProfile)
 	mux.HandleFunc("GET /v1/events", rt.o.Bus.ServeFirehose)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.Handle("GET /metrics", rt.o.Metrics.Handler())
@@ -518,6 +530,14 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := rt.forward(r.Context(), reqID, body, rt.candidates(keyPoint(g.Hash())))
+	// SLO classification: the routing tier is available when it relayed a
+	// deliverable non-5xx answer; 2xx relays additionally count against the
+	// route-latency objective.
+	good := err == nil && res.err == nil && res.status < http.StatusInternalServerError
+	rt.sloAvail.Observe(good)
+	if good && res.status < http.StatusMultipleChoices {
+		rt.sloLatency.ObserveLatency(res.dur, rt.cfg.SLOLatency)
+	}
 	switch {
 	case errors.Is(err, errNoShard):
 		w.Header().Set("Retry-After", "1")
@@ -561,6 +581,12 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 // handleJobTrace fans a trace lookup out exactly like a job lookup.
 func (rt *Router) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	rt.fanoutGet(w, r, "/v1/jobs/"+r.PathValue("id")+"/trace")
+}
+
+// handleJobProfile fans an engine-profile lookup out like a job lookup: the
+// owning shard retains the round timeline, the router only locates it.
+func (rt *Router) handleJobProfile(w http.ResponseWriter, r *http.Request) {
+	rt.fanoutGet(w, r, "/v1/jobs/"+r.PathValue("id")+"/profile")
 }
 
 // fanoutGet relays the first shard 200 for path, trying eligible shards in

@@ -13,6 +13,7 @@ import (
 
 	"twoecss/internal/faults"
 	"twoecss/internal/graph"
+	"twoecss/internal/obs"
 	"twoecss/internal/service"
 )
 
@@ -539,5 +540,74 @@ func TestRouterHealthzStates(t *testing.T) {
 	rt.MarkDraining()
 	if code, out := get(); code != http.StatusServiceUnavailable || out["status"] != "draining" {
 		t.Fatalf("draining router: code=%d out=%v", code, out)
+	}
+}
+
+func TestProfileFanoutAndShardEngineMetrics(t *testing.T) {
+	withProfile := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/jobs/j7/profile":
+			writeJSON(w, http.StatusOK, map[string]any{"job_id": "j7", "status": "done",
+				"profile": map[string]any{"stride": 1, "rounds_observed": 9}})
+		case "/v1/stats":
+			writeJSON(w, http.StatusOK, map[string]any{"engine": service.EngineStats{
+				SimulatedRounds: 120, ChargedRounds: 7, Messages: 4000, Words: 5000, ProfiledSolves: 3}})
+		default:
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown"})
+		}
+	}))
+	defer withProfile.Close()
+	without := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/stats" {
+			writeJSON(w, http.StatusOK, map[string]any{"engine": service.EngineStats{
+				SimulatedRounds: 30, Messages: 1000}})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown"})
+	}))
+	defer without.Close()
+
+	rt, err := New(quietConfig(), []string{without.URL, withProfile.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/j7/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out["job_id"] != "j7" || out["profile"] == nil {
+		t.Fatalf("profile fanout: code=%d out=%v", resp.StatusCode, out)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if _, err := obs.ValidateExposition(doc); err != nil {
+		t.Fatalf("router exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		`ecss_engine_rounds_total{kind="simulated",shard="` + withProfile.URL + `"} 120`,
+		`ecss_engine_rounds_total{kind="simulated",shard="` + without.URL + `"} 30`,
+		`ecss_engine_messages_total{shard="` + withProfile.URL + `"} 4000`,
+		`ecss_slo_burn_rate{slo="route-availability"`,
+		`ecss_slo_objective{slo="route-latency"} 0.99`,
+	} {
+		if !bytes.Contains(doc, []byte(want)) {
+			t.Fatalf("router /metrics missing %q", want)
+		}
+	}
+	// The fleet total sums across shard labels.
+	if sum, ok := obs.SumSeries(doc, "ecss_engine_messages_total"); !ok || sum != 5000 {
+		t.Fatalf("fleet messages sum %.0f (ok=%v), want 5000", sum, ok)
 	}
 }

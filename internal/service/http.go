@@ -241,6 +241,7 @@ func (s *Service) snapshotLocked(j *Job) JobResponse {
 //	GET  /v1/jobs/{id}        job status and result
 //	GET  /v1/jobs/{id}/stream job lifecycle as SSE, closed at the terminal event
 //	GET  /v1/jobs/{id}/trace  job event timeline as JSON
+//	GET  /v1/jobs/{id}/profile engine round profile and stage costs as JSON
 //	GET  /v1/events           process event firehose as SSE (?types= filter)
 //	GET  /v1/stats            service counters
 //	GET  /metrics             Prometheus text exposition
@@ -251,6 +252,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleJobProfile)
 	mux.HandleFunc("GET /v1/events", s.o.Bus.ServeFirehose)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.o.Metrics.Handler())

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"time"
 
+	"twoecss/internal/congest"
 	"twoecss/internal/obs"
 )
 
@@ -27,12 +28,39 @@ func (s *Service) emit(e obs.Event) { s.o.Bus.Publish(e) }
 // are 64 hex chars and belong in the store index, not the firehose.
 func keyPrefix(k Key) string { return hex.EncodeToString(k[:6]) }
 
-// observeStage records one pipeline stage's wall time. The registry getter
-// is get-or-create, so stages appear as they are first exercised.
-func (s *Service) observeStage(stage string, d time.Duration) {
-	s.o.Metrics.Histogram("ecss_solve_stage_seconds",
-		"Wall time per solver pipeline stage.", nil, obs.L("stage", stage)).
-		Observe(d.Seconds())
+// Engine histogram buckets: rounds are small integers by the paper's bounds
+// (O(D + sqrt(n) log* n) style), messages grow with m, so both families use
+// exponential grids.
+var (
+	engineRoundBuckets   = []float64{16, 64, 256, 1024, 4096, 16384, 65536, 262144}
+	engineMessageBuckets = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+)
+
+// observeStage records one completed pipeline stage: wall time plus the
+// engine cost delta the stage consumed. The registry getter is
+// get-or-create, so stages appear as they are first exercised.
+func (s *Service) observeStage(stage string, d time.Duration, cost congest.Stats) {
+	m := s.o.Metrics
+	l := obs.L("stage", stage)
+	m.Histogram("ecss_solve_stage_seconds",
+		"Wall time per solver pipeline stage.", nil, l).Observe(d.Seconds())
+	m.Histogram("ecss_engine_stage_rounds",
+		"Engine rounds (simulated + charged) consumed per pipeline stage.",
+		engineRoundBuckets, l).Observe(float64(cost.SimulatedRounds + cost.ChargedRounds))
+	m.Histogram("ecss_engine_stage_messages",
+		"Engine messages delivered per pipeline stage.",
+		engineMessageBuckets, l).Observe(float64(cost.Messages))
+}
+
+// observeSolveCost records one terminal solve's whole-pipeline engine cost.
+func (s *Service) observeSolveCost(rounds, msgs int64) {
+	m := s.o.Metrics
+	m.Histogram("ecss_engine_solve_rounds",
+		"Engine rounds (simulated + charged) consumed per solve.",
+		engineRoundBuckets).Observe(float64(rounds))
+	m.Histogram("ecss_engine_solve_messages",
+		"Engine messages delivered per solve.",
+		engineMessageBuckets).Observe(float64(msgs))
 }
 
 // registerMetrics creates the service's native instruments and registers
@@ -41,6 +69,11 @@ func (s *Service) registerMetrics() {
 	m := s.o.Metrics
 	s.solveHist = m.Histogram("ecss_solve_seconds",
 		"Solve wall time from worker pickup to terminal state.", nil)
+	// Declared SLOs (DESIGN.md §12.4): solves good iff successful within
+	// Config.SLOLatency (99% target), and good iff terminal without error
+	// (99.9% availability target). Exported as ecss_slo_* burn-rate gauges.
+	s.sloLatency = obs.NewSLO(m, "solve-latency", 0.99)
+	s.sloAvail = obs.NewSLO(m, "solve-availability", 0.999)
 	m.Collect(func(emit func(obs.Sample)) {
 		st := s.Stats()
 		c := func(name, help string, v float64, labels ...obs.Label) {
@@ -103,7 +136,100 @@ func (s *Service) registerMetrics() {
 			c("ecss_fault_hits_total", "Fault-point traversals while a plan is armed.", float64(ps.Hits), l)
 			c("ecss_fault_fires_total", "Faults actually injected.", float64(ps.Fires), l)
 		}
+		c("ecss_engine_rounds_total", "Engine rounds consumed across all solves, by accounting kind.",
+			float64(st.Engine.SimulatedRounds), obs.L("kind", "simulated"))
+		c("ecss_engine_rounds_total", "Engine rounds consumed across all solves, by accounting kind.",
+			float64(st.Engine.ChargedRounds), obs.L("kind", "charged"))
+		c("ecss_engine_messages_total", "Engine messages delivered across all solves.", float64(st.Engine.Messages))
+		c("ecss_engine_words_total", "Engine payload words delivered across all solves.", float64(st.Engine.Words))
+		c("ecss_engine_profiled_solves_total", "Solves that retained a round profile.", float64(st.Engine.ProfiledSolves))
 	})
+}
+
+// StageCost is one completed pipeline stage inside a JobProfile: its wall
+// time and the engine cost delta it consumed.
+type StageCost struct {
+	Stage           string  `json:"stage"`
+	Seconds         float64 `json:"seconds"`
+	SimulatedRounds int64   `json:"simulated_rounds"`
+	ChargedRounds   int64   `json:"charged_rounds"`
+	Messages        int64   `json:"messages"`
+	Words           int64   `json:"words"`
+}
+
+// RoundSampleWire is the JSON view of one engine round sample.
+type RoundSampleWire struct {
+	Round        int64 `json:"round"`
+	Active       int   `json:"active"`
+	Messages     int64 `json:"messages"`
+	Words        int64 `json:"words"`
+	MaxEdgeWords int   `json:"max_edge_words"`
+	MaxNodeWords int64 `json:"max_node_words"`
+	HandlerNs    int64 `json:"handler_ns"`
+	RouteNs      int64 `json:"route_ns"`
+}
+
+// JobProfile is the engine-depth telemetry retained for one solved job: the
+// per-stage cost breakdown plus a bounded, evenly spaced per-round timeline
+// from the attempt that produced the terminal state. Rounds and messages
+// are the paper's cost measures, so the profile is the auditable record of
+// where a solve's complexity went.
+type JobProfile struct {
+	// Stride is one retained sample per Stride simulated rounds (grows by
+	// doubling when a solve outruns the ring capacity).
+	Stride int64 `json:"stride"`
+	// RoundsObserved is the total simulated rounds of the profiled attempt,
+	// retained or thinned.
+	RoundsObserved int64             `json:"rounds_observed"`
+	Stages         []StageCost       `json:"stages"`
+	Rounds         []RoundSampleWire `json:"rounds"`
+}
+
+// buildProfile copies the recorder's ring (which the next solve on this
+// worker would overwrite) and the attempt's stage costs into a retained
+// profile.
+func buildProfile(rec *congest.RoundRecorder, stages []StageCost) *JobProfile {
+	p := &JobProfile{
+		Stride:         rec.Stride(),
+		RoundsObserved: rec.Observed(),
+		Stages:         append([]StageCost(nil), stages...),
+	}
+	samples := rec.Samples()
+	p.Rounds = make([]RoundSampleWire, len(samples))
+	for i, sm := range samples {
+		p.Rounds[i] = RoundSampleWire{Round: sm.Round, Active: sm.Active,
+			Messages: sm.Messages, Words: sm.Words,
+			MaxEdgeWords: sm.MaxEdgeWords, MaxNodeWords: sm.MaxNodeWords,
+			HandlerNs: sm.HandlerNs, RouteNs: sm.RouteNs}
+	}
+	return p
+}
+
+// ProfileResponse is the JSON view of GET /v1/jobs/{id}/profile.
+type ProfileResponse struct {
+	JobID  string `json:"job_id"`
+	Status Status `json:"status"`
+	// Profile is null while the job is queued or running, for jobs served
+	// without a solve (cache/store hits), and when profiling is disabled.
+	Profile *JobProfile `json:"profile,omitempty"`
+}
+
+func (s *Service) handleJobProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var resp ProfileResponse
+	if ok {
+		// The profile is immutable once attached, so sharing the pointer
+		// across the response write is safe.
+		resp = ProfileResponse{JobID: j.id, Status: j.status, Profile: j.profile}
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // TraceResponse is the JSON view of one job's event timeline at

@@ -56,6 +56,16 @@ type Config struct {
 	// events and /metrics always work). Share one Obs between the store and
 	// the service so a single firehose carries both subsystems.
 	Obs *obs.Obs
+	// ProfileRounds bounds the per-job engine round profile retained next to
+	// the trace and served at GET /v1/jobs/{id}/profile (default 512 samples;
+	// negative disables profiling). Long solves are thinned by stride, so the
+	// profile is an evenly spaced timeline whatever the round count.
+	ProfileRounds int
+	// SLOLatency is the solve-latency SLO threshold: a solve counting as
+	// "good" must reach a terminal state within it (default 2s). The
+	// objectives themselves are fixed (99% latency, 99.9% availability);
+	// burn rates are exported per obs.DefaultSLOWindows.
+	SLOLatency time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +83,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NetWorkers <= 0 {
 		c.NetWorkers = 1
+	}
+	if c.ProfileRounds == 0 {
+		c.ProfileRounds = 512
+	}
+	if c.SLOLatency <= 0 {
+		c.SLOLatency = 2 * time.Second
 	}
 	return c
 }
@@ -127,6 +143,11 @@ type Job struct {
 	view store.View
 	err  error
 	done chan struct{}
+	// profile is the engine round profile of the job's solve (nil while the
+	// job is queued or running, for jobs served without a solve, and with
+	// profiling disabled). Retained alongside the trace until the job record
+	// itself is dropped.
+	profile *JobProfile
 }
 
 // ID returns the job's stable identifier.
@@ -165,9 +186,9 @@ type Stats struct {
 	RejectedFull     int64 `json:"rejected_full"`
 	RejectedDraining int64 `json:"rejected_draining"`
 
-	QueueDepth   int              `json:"queue_depth"`
-	Inflight     int              `json:"inflight"`
-	CacheEntries int              `json:"cache_entries"`
+	QueueDepth   int `json:"queue_depth"`
+	Inflight     int `json:"inflight"`
+	CacheEntries int `json:"cache_entries"`
 	// Classes breaks queue traffic down per priority class, keyed by
 	// Priority.String().
 	Classes map[string]ClassStats `json:"classes"`
@@ -178,6 +199,20 @@ type Stats struct {
 	// Faults mirrors the armed fault-injection plan's per-point counters;
 	// nil when no plan is armed.
 	Faults map[string]faults.PointStats `json:"faults,omitempty"`
+	// Engine aggregates the congest engine's cost counters — the paper's own
+	// round/message measures — across every solve attempt this process ran.
+	Engine EngineStats `json:"engine"`
+}
+
+// EngineStats is the process-lifetime engine cost ledger. The router sums
+// these across shards (shard-tagged) from each shard's /v1/stats.
+type EngineStats struct {
+	SimulatedRounds int64 `json:"simulated_rounds"`
+	ChargedRounds   int64 `json:"charged_rounds"`
+	Messages        int64 `json:"messages"`
+	Words           int64 `json:"words"`
+	// ProfiledSolves counts solves that retained a round profile.
+	ProfiledSolves int64 `json:"profiled_solves"`
 }
 
 // Hits is the total number of submissions served without a solve.
@@ -211,9 +246,12 @@ type Service struct {
 	pool  *NetworkPool
 	store *store.Store // nil: no persistence
 	// o is the observability hub (never nil after New); solveHist is the
-	// pickup-to-terminal solve latency histogram, created once at startup.
-	o         *obs.Obs
-	solveHist *obs.Histogram
+	// pickup-to-terminal solve latency histogram, created once at startup;
+	// sloLatency and sloAvail are the declared solve SLOs (observe.go).
+	o          *obs.Obs
+	solveHist  *obs.Histogram
+	sloLatency *obs.SLO
+	sloAvail   *obs.SLO
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signaled on enqueue and at drain
@@ -363,6 +401,7 @@ func (s *Service) SubmitWith(g *graph.Graph, opt ecss.Options, adm Admit) (*Job,
 	}
 	opt.Workers = s.cfg.NetWorkers
 	opt.Progress = nil
+	opt.StageStats = nil
 	ghash := g.Hash()
 	key := keyFor(ghash, opt)
 
@@ -517,16 +556,46 @@ func (s *Service) runJob(j *Job) {
 	s.mu.Unlock()
 
 	// Stage accounting is attempt-local and touched only by this goroutine:
-	// Progress is invoked synchronously at stage starts, so the previous
-	// stage closes out at each transition (and after the attempt returns)
-	// without a lock.
-	var attemptStart, stageStart time.Time
+	// Progress and StageStats are invoked synchronously from the solving
+	// worker (per stage: StageStats(prev) then Progress(next)), so the
+	// previous stage closes out at each transition — and after the attempt
+	// returns — without a lock. The job.stage event fires at stage
+	// completion, carrying the stage's wall time and buffered engine delta.
+	var stageStart time.Time
 	var stage string
+	var stageCost congest.Stats
+	var stages []StageCost
+	var jobRounds, jobMsgs int64 // engine totals across attempts
 	closeStage := func(now time.Time) {
-		if stage != "" {
-			s.observeStage(stage, now.Sub(stageStart))
-			stage = ""
+		if stage == "" {
+			return
 		}
+		d := now.Sub(stageStart)
+		s.observeStage(stage, d, stageCost)
+		stages = append(stages, StageCost{Stage: stage, Seconds: d.Seconds(),
+			SimulatedRounds: stageCost.SimulatedRounds, ChargedRounds: stageCost.ChargedRounds,
+			Messages: stageCost.Messages, Words: stageCost.Words})
+		s.emit(obs.Event{Type: obs.EvJobStage, Job: j.id, Req: j.req, Stage: stage,
+			MS:     float64(d) / float64(time.Millisecond),
+			Rounds: stageCost.SimulatedRounds + stageCost.ChargedRounds, Msgs: stageCost.Messages})
+		stage, stageCost = "", congest.Stats{}
+	}
+	opt.StageStats = func(st string, delta congest.Stats) {
+		// Fires before the next stage's Progress call (and once more on
+		// success for the final stage): buffer the delta for closeStage and
+		// bill the process ledger. An aborted stage reports no delta and
+		// closes out with zero cost.
+		if st == stage {
+			stageCost = delta
+		}
+		jobRounds += delta.SimulatedRounds + delta.ChargedRounds
+		jobMsgs += delta.Messages
+		s.mu.Lock()
+		s.stats.Engine.SimulatedRounds += delta.SimulatedRounds
+		s.stats.Engine.ChargedRounds += delta.ChargedRounds
+		s.stats.Engine.Messages += delta.Messages
+		s.stats.Engine.Words += delta.Words
+		s.mu.Unlock()
 	}
 	opt.Progress = func(st string) {
 		// Panic and delay modes apply here (a returned error has nowhere to
@@ -538,17 +607,26 @@ func (s *Service) runJob(j *Job) {
 		s.mu.Lock()
 		j.phase = st
 		s.mu.Unlock()
-		s.emit(obs.Event{Type: obs.EvJobStage, Job: j.id, Req: j.req, Stage: st,
-			MS: float64(now.Sub(attemptStart)) / float64(time.Millisecond)})
+	}
+
+	// The round recorder is armed per attempt on the solve's pooled network
+	// (solveOnce) and reset across retries, so the retained profile narrates
+	// the attempt that produced the terminal state.
+	var rec *congest.RoundRecorder
+	if s.cfg.ProfileRounds > 0 {
+		rec = congest.NewRoundRecorder(s.cfg.ProfileRounds, 1)
 	}
 
 	var raw []byte
 	var err error
 	backoff := retryBackoffBase
 	for attempt := 0; ; attempt++ {
-		attemptStart = time.Now()
-		stageStart = attemptStart
-		raw, err = s.solveOnce(j, g, opt)
+		stageStart = time.Now()
+		if rec != nil {
+			rec.Reset()
+		}
+		stages = stages[:0]
+		raw, err = s.solveOnce(j, g, opt, rec)
 		closeStage(time.Now())
 		if err == nil || attempt >= maxSolveRetries || !retryable(err) {
 			break
@@ -578,6 +656,10 @@ func (s *Service) runJob(j *Job) {
 	j.phase = ""
 	delete(s.inflight, j.key)
 	s.stats.Solves++
+	if rec != nil && rec.Observed() > 0 {
+		j.profile = buildProfile(rec, stages)
+		s.stats.Engine.ProfiledSolves++
+	}
 	dur := float64(j.finished.Sub(j.started))
 	if s.ewmaSolveNs == 0 {
 		s.ewmaSolveNs = dur
@@ -598,6 +680,11 @@ func (s *Service) runJob(j *Job) {
 	s.mu.Unlock()
 	close(j.done)
 	s.solveHist.Observe(dur / float64(time.Second))
+	s.observeSolveCost(jobRounds, jobMsgs)
+	s.sloAvail.Observe(err == nil)
+	if err == nil {
+		s.sloLatency.ObserveLatency(time.Duration(dur), s.cfg.SLOLatency)
+	}
 	typ := obs.EvJobDone
 	var errStr string
 	if err != nil {
@@ -608,13 +695,15 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 	s.emit(obs.Event{Type: typ, Job: j.id, Req: j.req, Class: j.priority.String(), Err: errStr,
-		MS: dur / float64(time.Millisecond), Terminal: true})
+		MS: dur / float64(time.Millisecond), Rounds: jobRounds, Msgs: jobMsgs, Terminal: true})
 }
 
 // solveOnce runs one pipeline attempt on a pooled network, converting
 // solver panics into errors. A network that panicked mid-solve is in an
-// unknown state and is closed, never returned to the pool.
-func (s *Service) solveOnce(j *Job, g *graph.Graph, opt ecss.Options) (raw []byte, err error) {
+// unknown state and is closed, never returned to the pool. rec, when
+// non-nil, is armed as the network's round observer for the duration of the
+// solve and disarmed before the network can re-enter the pool.
+func (s *Service) solveOnce(j *Job, g *graph.Graph, opt ecss.Options, rec *congest.RoundRecorder) (raw []byte, err error) {
 	// The recovery is installed before the first injection point so that
 	// every panic-mode fault on this path — including solve.pre itself —
 	// degrades to a per-job error, never a dead worker.
@@ -642,7 +731,13 @@ func (s *Service) solveOnce(j *Job, g *graph.Graph, opt ecss.Options) (raw []byt
 	}
 	net = s.pool.Get(j.ghash, g)
 	net.ResetAccounting()
+	if rec != nil {
+		net.Observer = rec
+	}
 	res, serr := ecss.SolveOn(net, opt)
+	// Disarm before the network can be pooled: a recycled network must never
+	// write a later job's rounds into this job's profile.
+	net.Observer = nil
 	if serr == nil {
 		// Integrity gate: never cache (or serve) an unverified result.
 		serr = ecss.Verify(net.G, res)
